@@ -1,0 +1,163 @@
+// Command collector runs the switch control-plane agent as a live
+// daemon: it drives the simulated Science DMZ in real time (one
+// virtual second per wall second), accepts psconfig config-P4
+// commands over TCP, and ships every Report_v1 record as
+// newline-delimited JSON to a Logstash TCP input — exactly the Figure
+// 7 wiring. Without --logstash it prints the reports to stdout.
+//
+// Usage:
+//
+//	collector [--listen :9161] [--logstash HOST:PORT] [--duration 60] [--seed 42]
+//
+// Try it together with the other tools:
+//
+//	collector --listen :9161 &
+//	psconfig config-P4 --collector localhost:9161 --metric rtt --samples_per_second 4
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/controlplane"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/p4runtime"
+	"repro/internal/psconfig"
+	"repro/internal/simtime"
+	"repro/internal/tcp"
+)
+
+// liveSink forwards reports to a JSON-lines TCP connection (or stdout)
+// as the simulation advances.
+type liveSink struct {
+	mu   sync.Mutex
+	out  *json.Encoder
+	conn net.Conn
+	n    uint64
+}
+
+func newLiveSink(logstashAddr string) (*liveSink, error) {
+	s := &liveSink{}
+	if logstashAddr == "" {
+		s.out = json.NewEncoder(os.Stdout)
+		return s, nil
+	}
+	conn, err := net.DialTimeout("tcp", logstashAddr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("collector: connecting to logstash: %w", err)
+	}
+	s.conn = conn
+	s.out = json.NewEncoder(conn)
+	return s, nil
+}
+
+func (s *liveSink) Emit(r controlplane.Report) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	if err := s.out.Encode(r); err != nil {
+		fmt.Fprintln(os.Stderr, "collector: emit:", err)
+	}
+}
+
+func (s *liveSink) Close() {
+	if s.conn != nil {
+		s.conn.Close()
+	}
+}
+
+// guardedCP serialises psconfig calls with the simulation stepper.
+type guardedCP struct {
+	mu sync.Mutex
+	cp *controlplane.ControlPlane
+}
+
+func (g *guardedCP) SetRate(m controlplane.Metric, sps float64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cp.SetRate(m, sps)
+}
+
+func (g *guardedCP) SetAlert(m controlplane.Metric, th, esc float64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cp.SetAlert(m, th, esc)
+}
+
+func main() {
+	listen := flag.String("listen", ":9161", "address for psconfig config-P4 commands")
+	p4rtAddr := flag.String("p4rt", ":9559", "address for p4runtime register/table access (empty disables)")
+	logstash := flag.String("logstash", "", "Logstash TCP input address (default: stdout)")
+	duration := flag.Int("duration", 60, "virtual seconds to run")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	sink, err := newLiveSink(*logstash)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer sink.Close()
+
+	// A fast-scale Fig. 9-style workload provides live traffic; the
+	// live sink receives every report alongside the in-memory mirror.
+	sys := core.NewSystem(core.Options{
+		BottleneckBps: netsim.Mbps(500),
+		Seed:          *seed,
+		ExtraSink:     sink,
+	})
+	sys.Start()
+	guard := &guardedCP{cp: sys.ControlPlane}
+
+	sender := tcp.Config{MSS: 1448}
+	total := simtime.Time(*duration) * simtime.Second
+	sys.TransferToExternal(0, 0, 0, total, sender, tcp.Config{})
+	sys.TransferToExternal(1, 0, 0, total, sender, tcp.Config{})
+	sys.TransferToExternal(2, total/3, 0, total-total/3, sender, tcp.Config{})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "collector:", err)
+		os.Exit(1)
+	}
+	defer ln.Close()
+	go psconfig.ServeConfig(ln, guard)
+	fmt.Fprintf(os.Stderr, "collector: config API on %s, running %d virtual seconds\n", ln.Addr(), *duration)
+
+	// The p4runtime endpoint: external tools (cmd/p4rt) read registers
+	// and program the monitor table on the live pipeline.
+	if *p4rtAddr != "" {
+		rtServer := p4runtime.NewServer(sys.DataPlane)
+		rtServer.Guard = func(f func()) {
+			guard.mu.Lock()
+			defer guard.mu.Unlock()
+			f()
+		}
+		rtLn, err := net.Listen("tcp", *p4rtAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "collector:", err)
+			os.Exit(1)
+		}
+		defer rtLn.Close()
+		go p4runtime.Serve(rtLn, rtServer)
+		fmt.Fprintf(os.Stderr, "collector: p4runtime on %s\n", rtLn.Addr())
+	}
+
+	// Advance the simulation one virtual second per wall second so the
+	// report stream looks live.
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for vt := simtime.Second; vt <= total; vt += simtime.Second {
+		<-ticker.C
+		guard.mu.Lock()
+		sys.Engine.Run(vt)
+		guard.mu.Unlock()
+	}
+	fmt.Fprintf(os.Stderr, "collector: done, %d reports emitted\n", sink.n)
+}

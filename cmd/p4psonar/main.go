@@ -1,0 +1,104 @@
+// Command p4psonar regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	p4psonar run [-paper] [-out DIR] [-seed N] table1|fig9|fig10|fig11|fig12|fig13|fig14|all
+//
+// By default experiments run at fast scale (1/20 bandwidth, identical
+// RTTs and shapes); -paper runs the full 10 Gbps testbed parameters.
+// Each experiment prints its panels as ASCII charts and, with -out,
+// writes CSV series for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 || os.Args[1] != "run" {
+		usage()
+		os.Exit(2)
+	}
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	paper := fs.Bool("paper", false, "run at full 10 Gbps paper scale (slow)")
+	out := fs.String("out", "", "directory for CSV output (optional)")
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	fs.Parse(os.Args[2:])
+
+	targets := fs.Args()
+	if len(targets) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	scale := experiments.Fast()
+	if *paper {
+		scale = experiments.Paper()
+	}
+
+	run := func(name string) error {
+		fmt.Printf("=== %s (%s scale) ===\n\n", name, scale.Name)
+		switch name {
+		case "table1":
+			r := experiments.RunTable1(experiments.Table1Config{Scale: scale, Seed: *seed})
+			fmt.Println(r.Render())
+		case "fig9", "fig10":
+			r := experiments.RunFig9(experiments.Fig9Config{Scale: scale, Seed: *seed})
+			if name == "fig9" {
+				fmt.Println(r.Render())
+			} else {
+				fmt.Println(r.RenderFig10())
+			}
+			if *out != "" {
+				return r.SaveCSV(*out)
+			}
+		case "fig11":
+			r := experiments.RunFig11(experiments.Fig11Config{Scale: scale, Seed: *seed})
+			fmt.Println(r.Render())
+			if *out != "" {
+				return r.SaveCSV(*out)
+			}
+		case "fig12":
+			r := experiments.RunFig12(experiments.Fig12Config{Scale: scale, Seed: *seed})
+			fmt.Println(r.Render())
+			if *out != "" {
+				return r.SaveCSV(*out)
+			}
+		case "fig13":
+			r := experiments.RunFig13(experiments.Fig13Config{Scale: scale, Seed: *seed})
+			fmt.Println(r.Render())
+			if *out != "" {
+				return r.SaveCSV(*out)
+			}
+		case "fig14":
+			r := experiments.RunFig14(experiments.Fig13Config{Scale: scale, Seed: *seed})
+			fmt.Println(r.Render())
+			if *out != "" {
+				return r.SaveCSV(*out)
+			}
+		case "coexistence":
+			r := experiments.RunExtCoexistence(experiments.CoexistenceConfig{Scale: scale, Seed: *seed})
+			fmt.Println(r.Render())
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	if len(targets) == 1 && targets[0] == "all" {
+		targets = []string{"table1", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "coexistence"}
+	}
+	for _, name := range targets {
+		if err := run(name); err != nil {
+			fmt.Fprintln(os.Stderr, "p4psonar:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: p4psonar run [-paper] [-out DIR] [-seed N] table1|fig9|fig10|fig11|fig12|fig13|fig14|coexistence|all`)
+}

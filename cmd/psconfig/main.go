@@ -1,0 +1,61 @@
+// Command psconfig implements the paper's extended pSConfig CLI
+// (Figure 6): the config-P4 subcommand configures a running
+// collector's reporting rates and alert thresholds.
+//
+// Usage:
+//
+//	psconfig config-P4 [--collector HOST:PORT] --metric M --samples_per_second N
+//	psconfig config-P4 [--collector HOST:PORT] --metric M --alert --threshold T --samples_per_second N
+//
+// Without --collector the command parses, validates and echoes the
+// configuration (dry run) — useful for checking Figure 6 syntax.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/psconfig"
+)
+
+func main() {
+	if len(os.Args) < 2 || os.Args[1] != "config-P4" {
+		fmt.Fprintln(os.Stderr, "usage: psconfig config-P4 [--collector HOST:PORT] [--metric M] [--samples_per_second N] [--alert --threshold T]")
+		os.Exit(2)
+	}
+	args := os.Args[2:]
+
+	// Extract --collector before handing the rest to the Figure 6
+	// parser.
+	collector := ""
+	var rest []string
+	for i := 0; i < len(args); i++ {
+		if args[i] == "--collector" {
+			if i+1 >= len(args) {
+				fmt.Fprintln(os.Stderr, "psconfig: --collector requires a value")
+				os.Exit(2)
+			}
+			collector = args[i+1]
+			i++
+			continue
+		}
+		rest = append(rest, args[i])
+	}
+
+	cmd, err := psconfig.ParseConfigP4(rest)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if collector == "" {
+		fmt.Printf("parsed OK (dry run): %s\n", cmd)
+		return
+	}
+	if err := cmd.Send(collector, 5*time.Second); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("applied: %s\n", cmd)
+}

@@ -1,0 +1,56 @@
+// In-band Network Telemetry (extension, after the AmLight deployment
+// in the paper's related work): both legacy switches append per-hop
+// metadata to transit packets, and an INT sink at the destination DTN
+// strips and aggregates it — per-hop latency and queue depth for every
+// packet, complementing the TAP-based passive measurements.
+//
+//	go run ./examples/inband
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/inband"
+	"repro/internal/packet"
+	"repro/p4psonar"
+)
+
+func main() {
+	sys := core.NewSystem(core.Options{
+		BottleneckBps: 500e6,
+	})
+	// Instrument both switches as INT transit hops.
+	sys.CoreSwitch.INTEnabled = true
+	sys.AggSwitch.INTEnabled = true
+
+	// The destination DTN acts as the INT sink: it strips the stacks
+	// and feeds the collector.
+	collector := inband.NewCollector()
+	sys.ExternalDTNs[0].OnINT = func(pkt *packet.Packet) {
+		collector.Ingest(inband.Report{
+			Flow: pkt.FiveTuple(),
+			At:   sys.Engine.Now(),
+			Path: inband.Extract(pkt),
+		})
+	}
+
+	sys.Start()
+	// Two flows to the same destination congest the bottleneck so the
+	// per-hop telemetry has something to show.
+	sender := p4psonar.SenderConfig{MSS: 1448}
+	sys.TransferToExternal(0, 0, 0, 10*p4psonar.Second, sender, p4psonar.ReceiverConfig{})
+	sys.TransferToExternal(0, 2*p4psonar.Second, 0, 8*p4psonar.Second, sender, p4psonar.ReceiverConfig{})
+	sys.Run(10 * p4psonar.Second)
+
+	fmt.Println(collector.Summary())
+
+	fmt.Println("where the queueing lives:")
+	for _, hop := range collector.Hops() {
+		lat := collector.HopLatencySeries(hop)
+		q := collector.HopQueueSeries(hop)
+		fmt.Printf("  %-12s p-latency max %9.1fus  queue max %9.0f bytes\n",
+			hop, lat.Max(), q.Max())
+	}
+	fmt.Println("\n(the core switch's WAN port is the bottleneck, and INT shows it per packet)")
+}

@@ -1,0 +1,35 @@
+// Limitation identification (§5.4.2 / Figure 12): three concurrent
+// transfers, each bottlenecked differently — by the network (random
+// loss), by the receiver (small TCP buffer), and by the sender
+// (application pacing). The P4 data plane watches flight size against
+// packet losses (the Dapper heuristic) and tells the administrator
+// which transfers would NOT benefit from active measurements.
+//
+//	go run ./examples/limitation
+package main
+
+import (
+	"fmt"
+
+	"repro/p4psonar"
+)
+
+func main() {
+	r := p4psonar.RunFig12(p4psonar.Fig12Config{
+		Duration: 30 * p4psonar.Second,
+	})
+
+	fmt.Println(r.Render())
+
+	fmt.Println("operator guidance (§3.3.4):")
+	for dst, verdict := range r.Verdicts {
+		switch verdict {
+		case p4psonar.LimitedByNetwork:
+			fmt.Printf("  %s: network-limited -> running active tests to localise the problem is justified\n", dst)
+		case p4psonar.LimitedByEndpoint:
+			fmt.Printf("  %s: endpoint-limited -> do NOT run active tests; tune the DTN instead\n", dst)
+		default:
+			fmt.Printf("  %s: %s\n", dst, verdict)
+		}
+	}
+}

@@ -1,0 +1,485 @@
+package controlplane
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataplane"
+	"repro/internal/metrics"
+	"repro/internal/packet"
+	"repro/internal/simtime"
+)
+
+// MetricConfig is one metric's extraction schedule and alerting policy,
+// the knobs pSConfig's config-P4 command turns (Figure 6).
+type MetricConfig struct {
+	// SamplesPerSecond is the base reporting rate.
+	SamplesPerSecond float64
+	// AlertThreshold triggers an alert when the metric value crosses
+	// it (metric units: bps, %, ms, %). Zero disables alerting.
+	AlertThreshold float64
+	// AlertSamplesPerSecond is the escalated reporting rate applied
+	// while the threshold is exceeded ("increases the rate of
+	// measurement collection in order to get higher visibility", §3.2).
+	// Zero keeps the base rate.
+	AlertSamplesPerSecond float64
+}
+
+// Interval converts the base rate to a ticker period.
+func (m MetricConfig) Interval() simtime.Time {
+	return rateToInterval(m.SamplesPerSecond)
+}
+
+func rateToInterval(samplesPerSecond float64) simtime.Time {
+	if samplesPerSecond <= 0 {
+		samplesPerSecond = 1
+	}
+	return simtime.Time(float64(simtime.Second) / samplesPerSecond)
+}
+
+// Config assembles the control plane's static parameters.
+type Config struct {
+	// Metrics holds the per-metric schedules; missing metrics default
+	// to 1 sample/second with no alerting.
+	Metrics map[Metric]MetricConfig
+	// LinkCapacityBps is the monitored bottleneck capacity, needed for
+	// utilisation and queue-occupancy computation.
+	LinkCapacityBps float64
+	// BufferBytes is the core switch's output buffer, needed to turn
+	// queuing delay into queue occupancy (§4.2: occupancy = queuing
+	// delay / buffer drain time).
+	BufferBytes int
+	// IdleTimeout declares a flow terminated when no packet was seen
+	// for this long (FIN also terminates). Default 5 s.
+	IdleTimeout simtime.Time
+	// FairnessFloorBps excludes trickle flows (e.g. pure-ACK reverse
+	// flows) from the fairness and utilisation aggregates. Default
+	// 0.1% of link capacity.
+	FairnessFloorBps float64
+	// CMSResetInterval periodically clears the long-flow sketch.
+	// Default 60 s.
+	CMSResetInterval simtime.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Metrics == nil {
+		c.Metrics = map[Metric]MetricConfig{}
+	}
+	for _, m := range AllMetrics() {
+		if _, ok := c.Metrics[m]; !ok {
+			c.Metrics[m] = MetricConfig{SamplesPerSecond: 1}
+		}
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 5 * simtime.Second
+	}
+	if c.FairnessFloorBps <= 0 {
+		c.FairnessFloorBps = c.LinkCapacityBps / 1000
+	}
+	if c.CMSResetInterval <= 0 {
+		c.CMSResetInterval = 60 * simtime.Second
+	}
+	return c
+}
+
+// flowEntry is the control plane's directory record for one announced
+// long flow, joined from the data plane's LongFlowEvent digest.
+type flowEntry struct {
+	id    dataplane.FlowID
+	revID dataplane.FlowID
+	tuple packet.FiveTuple
+	since simtime.Time
+
+	// Previous cumulative counters per derived metric, for windowed
+	// deltas.
+	prevBytes    uint64
+	prevBytesAt  simtime.Time
+	prevLoss     uint64
+	prevLossPkts uint64
+	prevLossAt   simtime.Time
+
+	// Loss observed in the current limitation-classification window,
+	// and when a loss was last seen (loss events on a lightly-lossy
+	// path are sparser than the classification window, so the verdict
+	// needs memory).
+	prevLossForClass uint64
+	lastLossAt       simtime.Time
+
+	lastThroughputBps float64
+	lastLimitation    string
+}
+
+// ControlPlane drives extraction and reporting. It is single-threaded
+// on the simulation engine, like every simulated component.
+type ControlPlane struct {
+	cfg    Config
+	engine *simtime.Engine
+	dp     *dataplane.DataPlane
+	sink   Sink
+
+	flows   map[dataplane.FlowID]*flowEntry
+	tickers map[Metric]*simtime.Ticker
+	// escalated tracks which metrics currently run at the alert rate.
+	escalated map[Metric]bool
+
+	// AlertLog collects alerts for the administrator console, in
+	// addition to the sink records.
+	AlertLog []Report
+
+	started bool
+}
+
+// New wires a control plane to a data plane and a report sink. Call
+// Start to begin extraction.
+func New(e *simtime.Engine, dp *dataplane.DataPlane, sink Sink, cfg Config) *ControlPlane {
+	cp := &ControlPlane{
+		cfg:       cfg.withDefaults(),
+		engine:    e,
+		dp:        dp,
+		sink:      sink,
+		flows:     make(map[dataplane.FlowID]*flowEntry),
+		tickers:   make(map[Metric]*simtime.Ticker),
+		escalated: make(map[Metric]bool),
+	}
+	dp.OnLongFlow = cp.onLongFlow
+	dp.OnMicroburst = cp.onMicroburst
+	return cp
+}
+
+// Start launches the per-metric extraction tickers, the flow-lifecycle
+// sweep and the periodic CMS reset.
+func (cp *ControlPlane) Start() {
+	if cp.started {
+		return
+	}
+	cp.started = true
+	for _, m := range AllMetrics() {
+		m := m
+		iv := cp.cfg.Metrics[m].Interval()
+		cp.tickers[m] = simtime.NewTicker(cp.engine, cp.engine.Now()+iv, iv, func(now simtime.Time) {
+			cp.extract(m, now)
+		})
+	}
+	simtime.NewTicker(cp.engine, cp.engine.Now()+simtime.Second, simtime.Second, cp.sweepTerminated)
+	simtime.NewTicker(cp.engine, cp.engine.Now()+cp.cfg.CMSResetInterval, cp.cfg.CMSResetInterval,
+		func(simtime.Time) { cp.dp.ClearCMS() })
+}
+
+// SetRate reconfigures a metric's base sampling rate at run time — the
+// psconfig config-P4 --samples_per_second path (Figure 6).
+func (cp *ControlPlane) SetRate(m Metric, samplesPerSecond float64) error {
+	if !ValidMetric(string(m)) {
+		return fmt.Errorf("controlplane: unknown metric %q", m)
+	}
+	mc := cp.cfg.Metrics[m]
+	mc.SamplesPerSecond = samplesPerSecond
+	cp.cfg.Metrics[m] = mc
+	if t, ok := cp.tickers[m]; ok && !cp.escalated[m] {
+		t.SetInterval(mc.Interval())
+	}
+	return nil
+}
+
+// SetAlert configures a metric's alert threshold and escalated rate —
+// the psconfig config-P4 --alert --threshold path (Figure 6).
+func (cp *ControlPlane) SetAlert(m Metric, threshold, escalatedSamplesPerSecond float64) error {
+	if !ValidMetric(string(m)) {
+		return fmt.Errorf("controlplane: unknown metric %q", m)
+	}
+	mc := cp.cfg.Metrics[m]
+	mc.AlertThreshold = threshold
+	mc.AlertSamplesPerSecond = escalatedSamplesPerSecond
+	cp.cfg.Metrics[m] = mc
+	return nil
+}
+
+// MetricConfigFor returns the live configuration of one metric.
+func (cp *ControlPlane) MetricConfigFor(m Metric) MetricConfig { return cp.cfg.Metrics[m] }
+
+// ActiveFlowCount returns the number of flows currently tracked.
+func (cp *ControlPlane) ActiveFlowCount() int { return len(cp.flows) }
+
+// onLongFlow registers an announced flow in the directory.
+func (cp *ControlPlane) onLongFlow(ev dataplane.LongFlowEvent) {
+	if _, ok := cp.flows[ev.ID]; ok {
+		return
+	}
+	cp.flows[ev.ID] = &flowEntry{
+		id:    ev.ID,
+		revID: ev.RevID,
+		tuple: ev.Tuple,
+		since: ev.At,
+	}
+}
+
+// onMicroburst forwards the data plane's nanosecond burst digest as a
+// report, immediately (event-driven, not sampled — the whole point of
+// §4.2's per-packet detection).
+func (cp *ControlPlane) onMicroburst(ev dataplane.MicroburstEvent) {
+	cp.sink.Emit(Report{
+		Kind:         KindMicroburst,
+		TimeNs:       int64(ev.Start),
+		DurationNs:   int64(ev.Duration),
+		PeakDelayNs:  int64(ev.PeakDelay),
+		BurstPackets: ev.Packets,
+		Value:        cp.occupancyPct(ev.PeakDelay),
+		Unit:         "percent",
+	})
+}
+
+// occupancyPct converts a queuing delay into percent of buffer drain
+// time (§4.2: queue occupancy = queuing delay / buffer size).
+func (cp *ControlPlane) occupancyPct(qdelay simtime.Time) float64 {
+	if cp.cfg.BufferBytes <= 0 || cp.cfg.LinkCapacityBps <= 0 {
+		return 0
+	}
+	drainNs := float64(cp.cfg.BufferBytes*8) / cp.cfg.LinkCapacityBps * 1e9
+	return float64(qdelay) / drainNs * 100
+}
+
+// sortedFlows returns directory entries in a deterministic order.
+func (cp *ControlPlane) sortedFlows() []*flowEntry {
+	out := make([]*flowEntry, 0, len(cp.flows))
+	for _, f := range cp.flows {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// extract performs one extraction round for a metric: read the
+// registers of every tracked flow, derive the value, report it, and
+// apply the alert policy.
+func (cp *ControlPlane) extract(m Metric, now simtime.Time) {
+	maxValue := 0.0
+	var throughputs []float64
+
+	for _, f := range cp.sortedFlows() {
+		snap := cp.dp.ReadFlow(f.id, f.revID)
+		var value float64
+		var unit string
+		report := true
+
+		switch m {
+		case MetricThroughput:
+			elapsed := now - f.prevBytesAt
+			if f.prevBytesAt == 0 {
+				elapsed = now - f.since
+			}
+			if elapsed <= 0 {
+				report = false
+				break
+			}
+			value = float64(snap.Bytes-f.prevBytes) * 8 / elapsed.Seconds()
+			unit = "bps"
+			f.prevBytes = snap.Bytes
+			f.prevBytesAt = now
+			f.lastThroughputBps = value
+			if value >= cp.cfg.FairnessFloorBps {
+				throughputs = append(throughputs, value)
+			}
+		case MetricPacketLoss:
+			lossDelta := snap.PktLoss - f.prevLoss
+			pktsDelta := snap.Pkts - f.prevLossPkts
+			f.prevLoss = snap.PktLoss
+			f.prevLossPkts = snap.Pkts
+			f.prevLossAt = now
+			if pktsDelta == 0 {
+				value = 0
+			} else {
+				value = float64(lossDelta) / float64(pktsDelta) * 100
+			}
+			unit = "percent"
+		case MetricRTT:
+			if snap.RTT == 0 {
+				report = false
+				break
+			}
+			value = snap.RTT.Millis()
+			unit = "ms"
+		case MetricQueueOccupancy:
+			value = cp.occupancyPct(snap.QDelay)
+			unit = "percent"
+		}
+
+		if !report {
+			continue
+		}
+		if value > maxValue {
+			maxValue = value
+		}
+		r := Report{
+			Kind:    KindMetric,
+			TimeNs:  int64(now),
+			Metric:  m,
+			Value:   value,
+			Unit:    unit,
+			FlowID:  fmt.Sprintf("%08x", uint32(f.id)),
+			RevID:   fmt.Sprintf("%08x", uint32(f.revID)),
+			SrcIP:   f.tuple.SrcIP.String(),
+			DstIP:   f.tuple.DstIP.String(),
+			SrcPort: f.tuple.SrcPort,
+			DstPort: f.tuple.DstPort,
+			Proto:   f.tuple.Proto.String(),
+		}
+		cp.sink.Emit(r)
+	}
+
+	if m == MetricThroughput {
+		cp.emitAggregate(now, throughputs)
+		cp.classifyLimitations(now)
+	}
+
+	cp.applyAlertPolicy(m, maxValue, now)
+}
+
+// emitAggregate publishes the §5.3 control-plane statistics: link
+// utilisation, Jain's fairness index, active flow count and aggregate
+// totals.
+func (cp *ControlPlane) emitAggregate(now simtime.Time, throughputs []float64) {
+	var totalBytes, totalPkts uint64
+	for _, f := range cp.sortedFlows() {
+		snap := cp.dp.ReadFlow(f.id, f.revID)
+		totalBytes += snap.Bytes
+		totalPkts += snap.Pkts
+	}
+	cp.sink.Emit(Report{
+		Kind:         KindAggregate,
+		TimeNs:       int64(now),
+		Utilization:  metrics.Utilization(throughputs, cp.cfg.LinkCapacityBps),
+		Fairness:     metrics.JainFairness(throughputs),
+		ActiveFlows:  len(throughputs),
+		TotalBytes:   totalBytes,
+		TotalPackets: totalPkts,
+	})
+}
+
+// classifyLimitations applies the §4.4 heuristic to every tracked flow:
+// stable flight size with no new losses means the endpoint is the
+// bottleneck; growing flight size punctuated by losses means the
+// network is.
+func (cp *ControlPlane) classifyLimitations(now simtime.Time) {
+	for _, f := range cp.sortedFlows() {
+		snap := cp.dp.ReadFlow(f.id, f.revID)
+		if !snap.HasFlightWindow() {
+			continue // reverse/ACK flows and idle flows: nothing to classify
+		}
+		lossDelta := snap.PktLoss - f.prevLossForClass
+		f.prevLossForClass = snap.PktLoss
+		if lossDelta > 0 {
+			f.lastLossAt = now
+		}
+		// A loss within the last few seconds still colours the verdict:
+		// CUBIC on a lightly-lossy path loses less than once per
+		// window, yet its expanding flight punctuated by those losses
+		// is exactly the paper's network-limited signature.
+		recentLoss := f.lastLossAt > 0 && now-f.lastLossAt <= 5*simtime.Second
+
+		verdict := LimitedUnknown
+		spread := snap.FlightMaxW - snap.FlightMinW
+		stable := snap.FlightMaxW == 0 ||
+			float64(spread) <= 0.25*float64(snap.FlightMaxW)
+		saturated := cp.cfg.LinkCapacityBps > 0 &&
+			f.lastThroughputBps >= 0.9*cp.cfg.LinkCapacityBps
+		switch {
+		case lossDelta > 0:
+			verdict = LimitedByNetwork
+		case stable && !saturated && !recentLoss:
+			verdict = LimitedByEndpoint
+		case saturated:
+			verdict = LimitedByNetwork // pinned at capacity: path-limited
+		case recentLoss && !stable:
+			verdict = LimitedByNetwork // flight expanding between losses
+		}
+
+		cp.dp.ResetWindow(f.id)
+		f.lastLimitation = verdict
+		cp.sink.Emit(Report{
+			Kind:       KindLimitation,
+			TimeNs:     int64(now),
+			FlowID:     fmt.Sprintf("%08x", uint32(f.id)),
+			SrcIP:      f.tuple.SrcIP.String(),
+			DstIP:      f.tuple.DstIP.String(),
+			SrcPort:    f.tuple.SrcPort,
+			DstPort:    f.tuple.DstPort,
+			Proto:      f.tuple.Proto.String(),
+			Limitation: verdict,
+		})
+	}
+}
+
+// applyAlertPolicy raises an alert and escalates the sampling rate when
+// the metric's maximum observed value crosses the configured threshold,
+// and de-escalates (with 20% hysteresis) when it falls back.
+func (cp *ControlPlane) applyAlertPolicy(m Metric, maxValue float64, now simtime.Time) {
+	mc := cp.cfg.Metrics[m]
+	if mc.AlertThreshold <= 0 {
+		return
+	}
+	t := cp.tickers[m]
+	switch {
+	case maxValue > mc.AlertThreshold && !cp.escalated[m]:
+		cp.escalated[m] = true
+		alert := Report{
+			Kind:          KindAlert,
+			TimeNs:        int64(now),
+			Metric:        m,
+			Value:         maxValue,
+			Threshold:     mc.AlertThreshold,
+			EscalatedRate: mc.AlertSamplesPerSecond,
+		}
+		cp.AlertLog = append(cp.AlertLog, alert)
+		cp.sink.Emit(alert)
+		if mc.AlertSamplesPerSecond > 0 && t != nil {
+			t.SetInterval(rateToInterval(mc.AlertSamplesPerSecond))
+		}
+	case cp.escalated[m] && maxValue < 0.8*mc.AlertThreshold:
+		cp.escalated[m] = false
+		if t != nil {
+			t.SetInterval(mc.Interval())
+		}
+	}
+}
+
+// sweepTerminated ends flows that saw a FIN or went idle, emitting the
+// terminated-long-flow report of §3.3.2 and releasing the registers.
+func (cp *ControlPlane) sweepTerminated(now simtime.Time) {
+	for _, f := range cp.sortedFlows() {
+		snap := cp.dp.ReadFlow(f.id, f.revID)
+		idle := snap.LastSeen > 0 && now-snap.LastSeen > cp.cfg.IdleTimeout
+		if !snap.FinSeen && !idle {
+			continue
+		}
+		start := snap.FirstSeen
+		end := snap.LastSeen
+		dur := end - start
+		var avg float64
+		if dur > 0 {
+			avg = float64(snap.Bytes) * 8 / dur.Seconds()
+		}
+		var rpct float64
+		if snap.Pkts > 0 {
+			rpct = float64(snap.PktLoss) / float64(snap.Pkts) * 100
+		}
+		cp.sink.Emit(Report{
+			Kind:             KindFlowSummary,
+			TimeNs:           int64(now),
+			FlowID:           fmt.Sprintf("%08x", uint32(f.id)),
+			RevID:            fmt.Sprintf("%08x", uint32(f.revID)),
+			SrcIP:            f.tuple.SrcIP.String(),
+			DstIP:            f.tuple.DstIP.String(),
+			SrcPort:          f.tuple.SrcPort,
+			DstPort:          f.tuple.DstPort,
+			Proto:            f.tuple.Proto.String(),
+			StartNs:          int64(start),
+			EndNs:            int64(end),
+			Packets:          snap.Pkts,
+			Bytes:            snap.Bytes,
+			Retransmissions:  snap.PktLoss,
+			RetransmitPct:    rpct,
+			AvgThroughputBps: avg,
+		})
+		cp.dp.ReleaseFlow(f.id)
+		delete(cp.flows, f.id)
+	}
+}

@@ -1,0 +1,455 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/dataplane"
+	"repro/internal/packet"
+	"repro/internal/simtime"
+	"repro/internal/tap"
+)
+
+func flowTuple(srcPort uint16) packet.FiveTuple {
+	return packet.FiveTuple{
+		SrcIP:   packet.MustAddr("172.16.0.10"),
+		DstIP:   packet.MustAddr("192.168.1.10"),
+		SrcPort: srcPort,
+		DstPort: 5201,
+		Proto:   packet.ProtoTCP,
+	}
+}
+
+// feedFlow injects n data packets of payload bytes at the given rate
+// into the data plane via TAP ingress copies, starting at start.
+func feedFlow(dp *dataplane.DataPlane, ft packet.FiveTuple, start simtime.Time, n int, payload int, gap simtime.Time) simtime.Time {
+	at := start
+	for i := 0; i < n; i++ {
+		p := packet.NewTCP(ft, uint64(1+i*payload), 0, packet.FlagACK|packet.FlagPSH, payload)
+		p.IPID = uint16(i + 1)
+		dp.ProcessCopy(tap.Copy{Pkt: p, Point: tap.Ingress, At: at})
+		at += gap
+	}
+	return at
+}
+
+func newCP(sink Sink, cfg Config) (*simtime.Engine, *dataplane.DataPlane, *ControlPlane) {
+	e := simtime.NewEngine()
+	dp := dataplane.New(dataplane.Config{LongFlowBytes: 10_000})
+	cp := New(e, dp, sink, cfg)
+	return e, dp, cp
+}
+
+func TestThroughputExtraction(t *testing.T) {
+	sink := &MemorySink{}
+	e, dp, cp := newCP(sink, Config{LinkCapacityBps: 1e9})
+	cp.Start()
+
+	ft := flowTuple(40001)
+	// 1000 packets x 1000B payload over ~1s: ~8.3 Mbps including headers.
+	e.Schedule(0, func() {
+		feedFlow(dp, ft, simtime.Millisecond, 1000, 1000, simtime.Millisecond)
+	})
+	e.Run(3 * simtime.Second)
+
+	reps := sink.MetricReports(MetricThroughput, "")
+	if len(reps) == 0 {
+		t.Fatal("no throughput reports")
+	}
+	// The first full-window report (t=2s window covers traffic ending
+	// ~1s; find the max-value report).
+	var best float64
+	for _, r := range reps {
+		if r.Value > best {
+			best = r.Value
+		}
+	}
+	if best < 5e6 || best > 12e6 {
+		t.Fatalf("peak reported throughput %.1f Mbps, want ~8.3", best/1e6)
+	}
+	r := reps[0]
+	if r.SrcIP != "172.16.0.10" || r.DstIP != "192.168.1.10" || r.Unit != "bps" {
+		t.Fatalf("report fields wrong: %+v", r)
+	}
+}
+
+func TestFlowAnnouncedOnceTracked(t *testing.T) {
+	sink := &MemorySink{}
+	e, dp, cp := newCP(sink, Config{LinkCapacityBps: 1e9})
+	cp.Start()
+	e.Schedule(0, func() {
+		feedFlow(dp, flowTuple(40001), simtime.Millisecond, 50, 1000, simtime.Microsecond)
+	})
+	e.Run(simtime.Second)
+	if cp.ActiveFlowCount() != 1 {
+		t.Fatalf("tracked flows=%d, want 1", cp.ActiveFlowCount())
+	}
+}
+
+func TestAlertEscalatesReportingRate(t *testing.T) {
+	sink := &MemorySink{}
+	e, dp, cp := newCP(sink, Config{
+		LinkCapacityBps: 1e9,
+		BufferBytes:     125_000, // drain time 1ms at 1Gbps
+		Metrics: map[Metric]MetricConfig{
+			MetricQueueOccupancy: {SamplesPerSecond: 1, AlertThreshold: 30, AlertSamplesPerSecond: 10},
+		},
+	})
+	cp.Start()
+
+	ft := flowTuple(40001)
+	// Feed a long flow, then produce an egress pair with 0.5ms queuing
+	// delay (50% occupancy > 30% threshold).
+	e.Schedule(0, func() {
+		feedFlow(dp, ft, simtime.Millisecond, 20, 1000, simtime.Microsecond)
+		p := packet.NewTCP(ft, 50_000, 0, packet.FlagACK|packet.FlagPSH, 1000)
+		p.IPID = 999
+		dp.ProcessCopy(tap.Copy{Pkt: p, Point: tap.Ingress, At: 100 * simtime.Millisecond})
+		dp.ProcessCopy(tap.Copy{Pkt: p, Point: tap.Egress, At: 100*simtime.Millisecond + 500*simtime.Microsecond})
+	})
+	e.Run(3 * simtime.Second)
+
+	if len(cp.AlertLog) == 0 {
+		t.Fatal("no alert raised")
+	}
+	a := cp.AlertLog[0]
+	if a.Metric != MetricQueueOccupancy || a.Value < 30 {
+		t.Fatalf("alert wrong: %+v", a)
+	}
+	// Escalation: the queue-occupancy ticker must now run at 10/s.
+	if iv := cp.tickers[MetricQueueOccupancy].Interval(); iv != 100*simtime.Millisecond {
+		t.Fatalf("escalated interval %v, want 100ms", iv)
+	}
+	// ~10 samples per second after escalation: count reports in the
+	// second following the alert.
+	reps := sink.MetricReports(MetricQueueOccupancy, "")
+	var afterAlert int
+	for _, r := range reps {
+		if r.TimeNs > a.TimeNs && r.TimeNs <= a.TimeNs+int64(simtime.Second) {
+			afterAlert++
+		}
+	}
+	if afterAlert < 8 {
+		t.Fatalf("only %d reports in the escalated second, want ~10", afterAlert)
+	}
+}
+
+func TestAlertDeescalation(t *testing.T) {
+	sink := &MemorySink{}
+	e, dp, cp := newCP(sink, Config{
+		LinkCapacityBps: 1e9,
+		BufferBytes:     125_000,
+		Metrics: map[Metric]MetricConfig{
+			MetricQueueOccupancy: {SamplesPerSecond: 1, AlertThreshold: 30, AlertSamplesPerSecond: 10},
+		},
+	})
+	cp.Start()
+	ft := flowTuple(40001)
+	e.Schedule(0, func() {
+		feedFlow(dp, ft, simtime.Millisecond, 20, 1000, simtime.Microsecond)
+		p := packet.NewTCP(ft, 50_000, 0, packet.FlagACK|packet.FlagPSH, 1000)
+		p.IPID = 999
+		dp.ProcessCopy(tap.Copy{Pkt: p, Point: tap.Ingress, At: 100 * simtime.Millisecond})
+		dp.ProcessCopy(tap.Copy{Pkt: p, Point: tap.Egress, At: 100*simtime.Millisecond + 500*simtime.Microsecond})
+	})
+	// Later, the queue drains (new pair with tiny delay).
+	e.Schedule(2*simtime.Second, func() {
+		p := packet.NewTCP(ft, 90_000, 0, packet.FlagACK|packet.FlagPSH, 1000)
+		p.IPID = 1000
+		dp.ProcessCopy(tap.Copy{Pkt: p, Point: tap.Ingress, At: 2 * simtime.Second})
+		dp.ProcessCopy(tap.Copy{Pkt: p, Point: tap.Egress, At: 2*simtime.Second + simtime.Microsecond})
+	})
+	e.Run(5 * simtime.Second)
+	if iv := cp.tickers[MetricQueueOccupancy].Interval(); iv != simtime.Second {
+		t.Fatalf("interval %v after de-escalation, want 1s", iv)
+	}
+}
+
+func TestSetRateReconfiguresTicker(t *testing.T) {
+	sink := &MemorySink{}
+	_, _, cp := newCP(sink, Config{LinkCapacityBps: 1e9})
+	cp.Start()
+	if err := cp.SetRate(MetricRTT, 4); err != nil {
+		t.Fatal(err)
+	}
+	if iv := cp.tickers[MetricRTT].Interval(); iv != 250*simtime.Millisecond {
+		t.Fatalf("interval %v, want 250ms", iv)
+	}
+	if err := cp.SetRate("bogus", 1); err == nil {
+		t.Fatal("bogus metric must error")
+	}
+	if err := cp.SetAlert("bogus", 1, 1); err == nil {
+		t.Fatal("bogus metric must error")
+	}
+}
+
+func TestFlowSummaryOnFIN(t *testing.T) {
+	sink := &MemorySink{}
+	e, dp, cp := newCP(sink, Config{LinkCapacityBps: 1e9})
+	cp.Start()
+	ft := flowTuple(40001)
+	e.Schedule(0, func() {
+		end := feedFlow(dp, ft, simtime.Millisecond, 100, 1000, simtime.Millisecond)
+		fin := packet.NewTCP(ft, 200_000, 1, packet.FlagFIN|packet.FlagACK, 0)
+		fin.IPID = 5000
+		dp.ProcessCopy(tap.Copy{Pkt: fin, Point: tap.Ingress, At: end})
+	})
+	e.Run(5 * simtime.Second)
+
+	sums := sink.ByKind(KindFlowSummary)
+	if len(sums) != 1 {
+		t.Fatalf("summaries=%d, want 1", len(sums))
+	}
+	s := sums[0]
+	if s.Packets != 101 { // 100 data + FIN
+		t.Fatalf("packets=%d", s.Packets)
+	}
+	if s.Bytes == 0 || s.AvgThroughputBps == 0 {
+		t.Fatalf("summary missing totals: %+v", s)
+	}
+	if s.StartNs != int64(simtime.Millisecond) {
+		t.Fatalf("start=%d", s.StartNs)
+	}
+	if cp.ActiveFlowCount() != 0 {
+		t.Fatal("flow not released after summary")
+	}
+}
+
+func TestFlowSummaryOnIdle(t *testing.T) {
+	sink := &MemorySink{}
+	e, dp, cp := newCP(sink, Config{LinkCapacityBps: 1e9, IdleTimeout: 2 * simtime.Second})
+	cp.Start()
+	e.Schedule(0, func() {
+		feedFlow(dp, flowTuple(40001), simtime.Millisecond, 50, 1000, simtime.Microsecond)
+	})
+	e.Run(10 * simtime.Second)
+	if len(sink.ByKind(KindFlowSummary)) != 1 {
+		t.Fatal("idle flow not summarised")
+	}
+}
+
+func TestAggregateFairnessAndUtilization(t *testing.T) {
+	sink := &MemorySink{}
+	e, dp, cp := newCP(sink, Config{LinkCapacityBps: 20e6, FairnessFloorBps: 1})
+	cp.Start()
+	// Two equal flows of ~8.3 Mbps each on a 20 Mbps "link".
+	e.Schedule(0, func() {
+		feedFlow(dp, flowTuple(40001), simtime.Millisecond, 1000, 1000, simtime.Millisecond)
+		feedFlow(dp, flowTuple(40002), simtime.Millisecond, 1000, 1000, simtime.Millisecond)
+	})
+	e.Run(1100 * simtime.Millisecond)
+
+	aggs := sink.ByKind(KindAggregate)
+	if len(aggs) == 0 {
+		t.Fatal("no aggregate reports")
+	}
+	last := aggs[0]
+	if last.ActiveFlows != 2 {
+		t.Fatalf("active flows=%d", last.ActiveFlows)
+	}
+	if last.Fairness < 0.99 {
+		t.Fatalf("fairness=%f for equal flows", last.Fairness)
+	}
+	if last.Utilization < 0.7 {
+		t.Fatalf("utilization=%f", last.Utilization)
+	}
+	if last.TotalBytes == 0 || last.TotalPackets == 0 {
+		t.Fatal("aggregate totals missing")
+	}
+}
+
+func TestMicroburstReportForwarded(t *testing.T) {
+	sink := &MemorySink{}
+	e, dp, cp := newCP(sink, Config{LinkCapacityBps: 1e9, BufferBytes: 1_250_000})
+	cp.Start()
+	ft := flowTuple(40001)
+	e.Schedule(0, func() {
+		// Queue delay spikes to 8ms (80% of the 10ms drain time) then
+		// collapses: one microburst.
+		delays := []simtime.Time{
+			10 * simtime.Microsecond, 8 * simtime.Millisecond,
+			9 * simtime.Millisecond, 10 * simtime.Microsecond,
+		}
+		at := 20 * simtime.Millisecond
+		for i, qd := range delays {
+			p := packet.NewTCP(ft, uint64(1+i*1000), 0, packet.FlagACK|packet.FlagPSH, 1000)
+			p.IPID = uint16(i + 1)
+			dp.ProcessCopy(tap.Copy{Pkt: p, Point: tap.Ingress, At: at - qd})
+			dp.ProcessCopy(tap.Copy{Pkt: p, Point: tap.Egress, At: at})
+			at += 15 * simtime.Millisecond
+		}
+	})
+	e.Run(simtime.Second)
+
+	bursts := sink.ByKind(KindMicroburst)
+	if len(bursts) != 1 {
+		t.Fatalf("bursts=%d, want 1", len(bursts))
+	}
+	b := bursts[0]
+	if b.PeakDelayNs != int64(9*simtime.Millisecond) {
+		t.Fatalf("peak=%d", b.PeakDelayNs)
+	}
+	if b.Value < 85 || b.Value > 95 { // 9ms of 10ms drain = 90%
+		t.Fatalf("occupancy=%f, want ~90", b.Value)
+	}
+}
+
+func TestLimitationClassification(t *testing.T) {
+	sink := &MemorySink{}
+	e, dp, cp := newCP(sink, Config{LinkCapacityBps: 1e9})
+	cp.Start()
+	ft := flowTuple(40001)
+
+	// Simulate an endpoint-limited flow: constant flight size, no
+	// losses. Data seq advances; ACKs trail at a fixed distance.
+	e.Schedule(0, func() {
+		at := simtime.Millisecond
+		const payload = 1000
+		for i := 0; i < 2000; i++ {
+			seq := uint64(1 + i*payload)
+			p := packet.NewTCP(ft, seq, 0, packet.FlagACK|packet.FlagPSH, payload)
+			p.IPID = uint16(i)
+			dp.ProcessCopy(tap.Copy{Pkt: p, Point: tap.Ingress, At: at})
+			// ACK covering the segment 4 packets back: flight ~4kB.
+			if i >= 4 {
+				ackNo := uint64(1 + (i-3)*payload)
+				a := packet.NewTCP(ft.Reverse(), 1, ackNo, packet.FlagACK, 0)
+				a.IPID = uint16(i)
+				dp.ProcessCopy(tap.Copy{Pkt: a, Point: tap.Ingress, At: at + 100*simtime.Microsecond})
+			}
+			at += simtime.Millisecond
+		}
+	})
+	e.Run(2 * simtime.Second)
+
+	lims := sink.ByKind(KindLimitation)
+	if len(lims) == 0 {
+		t.Fatal("no limitation reports")
+	}
+	last := lims[len(lims)-1]
+	if last.Limitation != LimitedByEndpoint {
+		t.Fatalf("verdict=%q, want endpoint", last.Limitation)
+	}
+}
+
+func TestLimitationNetworkOnLosses(t *testing.T) {
+	sink := &MemorySink{}
+	e, dp, cp := newCP(sink, Config{LinkCapacityBps: 1e9})
+	cp.Start()
+	ft := flowTuple(40001)
+	e.Schedule(0, func() {
+		at := simtime.Millisecond
+		const payload = 1000
+		seq := uint64(1)
+		for i := 0; i < 2000; i++ {
+			if i%97 == 96 {
+				// Retransmission: lower sequence than previous.
+				p := packet.NewTCP(ft, seq-3*payload, 0, packet.FlagACK|packet.FlagPSH, payload)
+				p.IPID = uint16(i)
+				dp.ProcessCopy(tap.Copy{Pkt: p, Point: tap.Ingress, At: at})
+			} else {
+				p := packet.NewTCP(ft, seq, 0, packet.FlagACK|packet.FlagPSH, payload)
+				p.IPID = uint16(i)
+				dp.ProcessCopy(tap.Copy{Pkt: p, Point: tap.Ingress, At: at})
+				seq += payload
+			}
+			if i >= 4 {
+				a := packet.NewTCP(ft.Reverse(), 1, seq-4*payload, packet.FlagACK, 0)
+				a.IPID = uint16(i)
+				dp.ProcessCopy(tap.Copy{Pkt: a, Point: tap.Ingress, At: at + 100*simtime.Microsecond})
+			}
+			at += simtime.Millisecond
+		}
+	})
+	e.Run(2 * simtime.Second)
+
+	lims := sink.ByKind(KindLimitation)
+	if len(lims) == 0 {
+		t.Fatal("no limitation reports")
+	}
+	if lims[len(lims)-1].Limitation != LimitedByNetwork {
+		t.Fatalf("verdict=%q, want network", lims[len(lims)-1].Limitation)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	r := Report{
+		Kind:   KindMetric,
+		TimeNs: 123456789,
+		Metric: MetricThroughput,
+		Value:  9.5e9,
+		Unit:   "bps",
+		FlowID: "deadbeef",
+		SrcIP:  "10.0.0.1",
+	}
+	line, err := r.MarshalJSONLine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line[len(line)-1] != '\n' {
+		t.Fatal("JSON line must end with newline")
+	}
+	var back Report
+	if err := json.Unmarshal(line, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != r {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, r)
+	}
+}
+
+func TestReportOmitsEmptyFields(t *testing.T) {
+	r := Report{Kind: KindAggregate, TimeNs: 1, Utilization: 0.5}
+	line, _ := r.MarshalJSONLine()
+	for _, forbidden := range []string{"flow_id", "src_ip", "retransmissions", "burst_packets"} {
+		if containsStr(string(line), forbidden) {
+			t.Fatalf("empty field %q serialised: %s", forbidden, line)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMemorySinkFiltering(t *testing.T) {
+	m := &MemorySink{}
+	m.Emit(Report{Kind: KindMetric, Metric: MetricRTT, FlowID: "aa"})
+	m.Emit(Report{Kind: KindMetric, Metric: MetricRTT, FlowID: "bb"})
+	m.Emit(Report{Kind: KindMetric, Metric: MetricThroughput, FlowID: "aa"})
+	m.Emit(Report{Kind: KindAlert})
+	if len(m.ByKind(KindMetric)) != 3 || len(m.ByKind(KindAlert)) != 1 {
+		t.Fatal("ByKind wrong")
+	}
+	if len(m.MetricReports(MetricRTT, "")) != 2 {
+		t.Fatal("metric filter wrong")
+	}
+	if len(m.MetricReports(MetricRTT, "aa")) != 1 {
+		t.Fatal("flow filter wrong")
+	}
+}
+
+func TestValidMetric(t *testing.T) {
+	for _, m := range AllMetrics() {
+		if !ValidMetric(string(m)) {
+			t.Fatalf("%s should be valid", m)
+		}
+	}
+	if ValidMetric("nope") {
+		t.Fatal("invalid metric accepted")
+	}
+}
+
+func TestRateToInterval(t *testing.T) {
+	if rateToInterval(10) != 100*simtime.Millisecond {
+		t.Fatal("10/s must be 100ms")
+	}
+	if rateToInterval(0) != simtime.Second {
+		t.Fatal("zero rate must default to 1/s")
+	}
+}

@@ -1,0 +1,166 @@
+// Package controlplane models the programmable switch's control plane
+// (§3.2, Figure 5b): it extracts the data-plane registers at the
+// configured intervals (t_N, t_P, t_R, t_Q), applies the alert
+// thresholds (a_N, a_P, a_R, a_Q) with automatic reporting-rate
+// escalation, derives the metrics the paper's §5.3 computes (throughput,
+// loss percentage, queue occupancy, link utilisation, Jain's fairness),
+// builds per-flow and terminated-flow reports, and ships everything as
+// structured Report_v1 records toward the perfSONAR archiver.
+package controlplane
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// Metric names a monitored quantity. The four data-plane metrics carry
+// the paper's t_N/t_P/t_R/t_Q extraction intervals.
+type Metric string
+
+// The four monitored metrics of Figure 5(a).
+const (
+	MetricThroughput     Metric = "throughput"      // t_N: number of bytes
+	MetricPacketLoss     Metric = "packet_loss"     // t_P: packet losses
+	MetricRTT            Metric = "rtt"             // t_R: round-trip time
+	MetricQueueOccupancy Metric = "queue_occupancy" // t_Q: queue occupancy
+)
+
+// AllMetrics lists the four configurable metrics.
+func AllMetrics() []Metric {
+	return []Metric{MetricThroughput, MetricPacketLoss, MetricRTT, MetricQueueOccupancy}
+}
+
+// ValidMetric reports whether s names a configurable metric.
+func ValidMetric(s string) bool {
+	switch Metric(s) {
+	case MetricThroughput, MetricPacketLoss, MetricRTT, MetricQueueOccupancy:
+		return true
+	}
+	return false
+}
+
+// Report kinds.
+const (
+	KindMetric      = "metric"       // one per-flow measurement sample
+	KindAggregate   = "aggregate"    // link utilisation, fairness, flow counts (§5.3)
+	KindFlowSummary = "flow_summary" // terminated long-flow report (§3.3.2)
+	KindMicroburst  = "microburst"   // nanosecond-granularity burst event (§3.3.3)
+	KindAlert       = "alert"        // threshold exceeded (§3.2)
+	KindLimitation  = "limitation"   // network vs sender/receiver verdict (§4.4)
+)
+
+// Limitation verdicts for KindLimitation reports.
+const (
+	LimitedByNetwork  = "network"
+	LimitedByEndpoint = "sender/receiver"
+	LimitedUnknown    = "undetermined"
+)
+
+// Report is the structured record the control plane emits — the
+// "Report_v1" of Figure 7. Logstash later adds the OpenSearch metadata
+// to produce Report_v2. One struct covers all report kinds; unused
+// fields stay zero and are omitted from the JSON encoding.
+type Report struct {
+	Kind   string `json:"kind"`
+	TimeNs int64  `json:"time_ns"`
+
+	// Flow identity (metric, flow_summary, limitation kinds).
+	FlowID  string `json:"flow_id,omitempty"` // hex hash of the 5-tuple
+	RevID   string `json:"rev_id,omitempty"`  // hex reversed-hash
+	SrcIP   string `json:"src_ip,omitempty"`
+	DstIP   string `json:"dst_ip,omitempty"`
+	SrcPort uint16 `json:"src_port,omitempty"`
+	DstPort uint16 `json:"dst_port,omitempty"`
+	Proto   string `json:"proto,omitempty"`
+
+	// Measurement sample (metric, alert kinds).
+	Metric Metric  `json:"metric,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+	Unit   string  `json:"unit,omitempty"`
+
+	// Alert details.
+	Threshold     float64 `json:"threshold,omitempty"`
+	EscalatedRate float64 `json:"escalated_rate,omitempty"`
+
+	// Terminated-flow summary (§3.3.2): start/end with nanosecond
+	// granularity, totals, average throughput, retransmissions.
+	StartNs          int64   `json:"start_ns,omitempty"`
+	EndNs            int64   `json:"end_ns,omitempty"`
+	Packets          uint64  `json:"packets,omitempty"`
+	Bytes            uint64  `json:"bytes,omitempty"`
+	Retransmissions  uint64  `json:"retransmissions,omitempty"`
+	RetransmitPct    float64 `json:"retransmit_pct,omitempty"`
+	AvgThroughputBps float64 `json:"avg_throughput_bps,omitempty"`
+
+	// Microburst event (§3.3.3).
+	DurationNs   int64 `json:"duration_ns,omitempty"`
+	PeakDelayNs  int64 `json:"peak_delay_ns,omitempty"`
+	BurstPackets int   `json:"burst_packets,omitempty"`
+
+	// Aggregate traffic statistics (§5.3).
+	Utilization  float64 `json:"utilization,omitempty"`
+	Fairness     float64 `json:"fairness,omitempty"`
+	ActiveFlows  int     `json:"active_flows,omitempty"`
+	TotalBytes   uint64  `json:"total_bytes,omitempty"`
+	TotalPackets uint64  `json:"total_packets,omitempty"`
+
+	// Limitation verdict (§4.4).
+	Limitation string `json:"limitation,omitempty"`
+}
+
+// Time returns the report timestamp as simulation time.
+func (r Report) Time() simtime.Time { return simtime.Time(r.TimeNs) }
+
+// MarshalJSONLine renders the report as one JSON line, the format the
+// Logstash TCP input plugin ingests.
+func (r Report) MarshalJSONLine() ([]byte, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("controlplane: encoding report: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// Sink receives the control plane's reports. The perfSONAR archiver's
+// Logstash pipeline is the production sink; tests use MemorySink.
+type Sink interface {
+	Emit(r Report)
+}
+
+// MemorySink retains every report in order, with per-kind indexing for
+// test assertions and the experiment harness.
+type MemorySink struct {
+	Reports []Report
+}
+
+// Emit implements Sink.
+func (m *MemorySink) Emit(r Report) { m.Reports = append(m.Reports, r) }
+
+// ByKind returns the reports of one kind, in emission order.
+func (m *MemorySink) ByKind(kind string) []Report {
+	var out []Report
+	for _, r := range m.Reports {
+		if r.Kind == kind {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// MetricReports returns KindMetric reports for one metric, optionally
+// filtered to a single flow ID (empty string = all flows).
+func (m *MemorySink) MetricReports(metric Metric, flowID string) []Report {
+	var out []Report
+	for _, r := range m.Reports {
+		if r.Kind != KindMetric || r.Metric != metric {
+			continue
+		}
+		if flowID != "" && r.FlowID != flowID {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}

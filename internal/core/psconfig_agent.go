@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/psconfig"
+	"repro/internal/simtime"
+	"repro/internal/tcp"
+)
+
+// ApplyPSConfigTemplate plays the role of the pSConfig agent on the
+// local perfSONAR node: it consumes a template document and turns its
+// tasks into running configuration — "p4" tasks program the switch
+// control plane (the paper's extension), and classic "throughput",
+// "latency" and "trace" tasks schedule the corresponding active tests
+// on pScheduler.
+//
+// Task spec fields for active tests:
+//
+//	src, dst   host names ("ps-local", "ps1", "dtn2", ...)
+//	interval   ISO-8601 duration between runs (task.Interval)
+//	duration   throughput test length (default PT5S)
+//	count      latency probe count / trace max hops (default 10)
+func (s *System) ApplyPSConfigTemplate(tpl *psconfig.Template) error {
+	// The paper's config-P4 tasks first.
+	cmds, err := tpl.P4Commands()
+	if err != nil {
+		return err
+	}
+	for _, cmd := range cmds {
+		if err := cmd.Apply(s.ControlPlane); err != nil {
+			return err
+		}
+	}
+
+	// Classic scheduled tests.
+	for name, task := range tpl.Tasks {
+		switch task.Type {
+		case "p4":
+			continue // handled above
+		case "throughput", "latency", "trace":
+		default:
+			return fmt.Errorf("core: task %q: unsupported type %q", name, task.Type)
+		}
+
+		src, err := s.HostByName(task.Spec["src"])
+		if err != nil {
+			return fmt.Errorf("core: task %q: %w", name, err)
+		}
+		dst, err := s.HostByName(task.Spec["dst"])
+		if err != nil {
+			return fmt.Errorf("core: task %q: %w", name, err)
+		}
+		interval := simtime.Time(0)
+		if task.Interval != "" {
+			interval, err = psconfig.ParseISODuration(task.Interval)
+			if err != nil {
+				return fmt.Errorf("core: task %q: %w", name, err)
+			}
+		} else {
+			interval = 60 * simtime.Second
+		}
+
+		switch task.Type {
+		case "throughput":
+			dur := 5 * simtime.Second
+			if v := task.Spec["duration"]; v != "" {
+				dur, err = psconfig.ParseISODuration(v)
+				if err != nil {
+					return fmt.Errorf("core: task %q: %w", name, err)
+				}
+			}
+			s.Scheduler.ScheduleThroughput(src, dst, simtime.Second, interval, dur,
+				tcp.Config{MSS: 1448})
+		case "latency":
+			count := specInt(task.Spec, "count", 10)
+			s.Scheduler.ScheduleLatency(src, dst, simtime.Second, interval,
+				count, 200*simtime.Millisecond)
+		case "trace":
+			hops := specInt(task.Spec, "count", 10)
+			s.Scheduler.ScheduleTrace(src, dst, simtime.Second, interval, hops)
+		}
+	}
+	return nil
+}
+
+func specInt(spec map[string]string, key string, def int) int {
+	v, ok := spec[key]
+	if !ok {
+		return def
+	}
+	n := 0
+	for _, r := range v {
+		if r < '0' || r > '9' {
+			return def
+		}
+		n = n*10 + int(r-'0')
+	}
+	if n == 0 {
+		return def
+	}
+	return n
+}
+
+// HostByName resolves a topology host by its name ("dtn-internal",
+// "ps-local", "dtn1", "ps3", ...).
+func (s *System) HostByName(name string) (*tcp.Host, error) {
+	switch name {
+	case s.InternalDTN.Name():
+		return s.InternalDTN, nil
+	case s.LocalPerfNode.Name():
+		return s.LocalPerfNode, nil
+	}
+	for i := 0; i < ExternalNetworks; i++ {
+		if s.ExternalDTNs[i].Name() == name {
+			return s.ExternalDTNs[i], nil
+		}
+		if s.ExternalPerf[i].Name() == name {
+			return s.ExternalPerf[i], nil
+		}
+	}
+	return nil, fmt.Errorf("core: unknown host %q", name)
+}

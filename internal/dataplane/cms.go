@@ -1,0 +1,66 @@
+package dataplane
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+)
+
+// CMS is a count-min sketch (Cormode & Muthukrishnan), the structure
+// the paper's data plane uses to detect long flows before dedicating
+// per-flow register state to them (§4). Counters accumulate bytes.
+type CMS struct {
+	width uint32
+	depth uint32
+	rows  [][]uint64
+}
+
+// NewCMS builds a sketch with the given geometry. Width is the number
+// of counters per row; depth is the number of independent hash rows.
+func NewCMS(width, depth int) *CMS {
+	if width <= 0 || depth <= 0 {
+		panic(fmt.Sprintf("dataplane: invalid CMS geometry %dx%d", width, depth))
+	}
+	rows := make([][]uint64, depth)
+	for i := range rows {
+		rows[i] = make([]uint64, width)
+	}
+	return &CMS{width: uint32(width), depth: uint32(depth), rows: rows}
+}
+
+// Update adds count bytes to the flow's counters and returns the new
+// estimate (the conservative minimum across rows).
+func (c *CMS) Update(ft packet.FiveTuple, count uint64) uint64 {
+	est := ^uint64(0)
+	for row := uint32(0); row < c.depth; row++ {
+		idx := hashAt(ft, row) % c.width
+		c.rows[row][idx] += count
+		if v := c.rows[row][idx]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// Estimate returns the sketch's byte estimate for the flow without
+// updating it.
+func (c *CMS) Estimate(ft packet.FiveTuple) uint64 {
+	est := ^uint64(0)
+	for row := uint32(0); row < c.depth; row++ {
+		idx := hashAt(ft, row) % c.width
+		if v := c.rows[row][idx]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// Clear zeroes the sketch. The data plane periodically resets it so
+// stale flows do not saturate the counters.
+func (c *CMS) Clear() {
+	for _, row := range c.rows {
+		for i := range row {
+			row[i] = 0
+		}
+	}
+}

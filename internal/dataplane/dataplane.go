@@ -1,0 +1,533 @@
+package dataplane
+
+import (
+	"net/netip"
+	"sort"
+
+	"repro/internal/packet"
+	"repro/internal/simtime"
+	"repro/internal/tap"
+)
+
+// Config sizes the pipeline's state, mirroring the resource choices a
+// P4 program makes at compile time.
+type Config struct {
+	// FlowTableSize is the number of cells in each per-flow register
+	// array. The paper's program tracks 2048 active flows (§3.3.2).
+	FlowTableSize int
+	// EACKTableSize is the number of cells in the expected-ACK
+	// signature/timestamp registers of Algorithm 1.
+	EACKTableSize int
+	// QSigTableSize is the number of cells in the ingress-timestamp
+	// table used to pair the two TAP copies of a packet (§4.2).
+	QSigTableSize int
+	// CMSWidth and CMSDepth set the count-min sketch geometry used for
+	// long-flow detection.
+	CMSWidth, CMSDepth int
+	// LongFlowBytes is the byte volume at which a flow is declared
+	// "long" and announced to the control plane.
+	LongFlowBytes uint64
+	// Microburst detection (§3.3.3). A microburst is a *sudden* queue
+	// excursion, so the detector compares each packet's queuing delay
+	// against an exponentially-weighted baseline: a burst starts when
+	// the delay exceeds BurstFactor x baseline AND the absolute
+	// BurstFloor; it ends when the delay falls back below
+	// BurstEndFactor x baseline (or under half the floor). The adaptive
+	// baseline keeps slow phenomena — CUBIC's standing queue, gradual
+	// ramps — from registering as bursts.
+	BurstFactor    float64
+	BurstEndFactor float64
+	BurstFloor     simtime.Time
+	// BurstBaselineTau is the baseline's adaptation time constant. The
+	// baseline must adapt by elapsed time, not by packet count — a
+	// back-to-back packet train ramps the queue within microseconds,
+	// and a per-packet average would chase the ramp and never see it
+	// as sudden.
+	BurstBaselineTau simtime.Time
+}
+
+// WithDefaults fills unset fields with the paper-faithful defaults.
+func (c Config) WithDefaults() Config {
+	if c.FlowTableSize <= 0 {
+		c.FlowTableSize = 2048
+	}
+	if c.EACKTableSize <= 0 {
+		c.EACKTableSize = 1 << 16
+	}
+	if c.QSigTableSize <= 0 {
+		c.QSigTableSize = 1 << 16
+	}
+	if c.CMSWidth <= 0 {
+		c.CMSWidth = 8192
+	}
+	if c.CMSDepth <= 0 {
+		c.CMSDepth = 4
+	}
+	if c.LongFlowBytes == 0 {
+		c.LongFlowBytes = 1 << 20 // 1 MB
+	}
+	if c.BurstFactor == 0 {
+		c.BurstFactor = 4
+	}
+	if c.BurstEndFactor == 0 {
+		c.BurstEndFactor = 1.5
+	}
+	if c.BurstFloor == 0 {
+		c.BurstFloor = simtime.Millisecond
+	}
+	if c.BurstBaselineTau == 0 {
+		c.BurstBaselineTau = 50 * simtime.Millisecond
+	}
+	return c
+}
+
+// LongFlowEvent is the digest the data plane sends when a flow crosses
+// the long-flow threshold: "the ID of the flow, its source and
+// destination IP, and its reversed ID" (§4).
+type LongFlowEvent struct {
+	ID    FlowID
+	RevID FlowID
+	Tuple packet.FiveTuple
+	At    simtime.Time
+	Bytes uint64
+}
+
+// MicroburstEvent reports one detected microburst with nanosecond
+// granularity (§3.3.3): its start time, duration, peak queuing delay
+// and how many packets rode the burst.
+type MicroburstEvent struct {
+	Start     simtime.Time
+	Duration  simtime.Time
+	PeakDelay simtime.Time
+	Packets   int
+}
+
+// Stats counts pipeline-internal events, exposed for tests and the
+// ablation benchmarks.
+type Stats struct {
+	IngressCopies  uint64
+	EgressCopies   uint64
+	RTTSamples     uint64
+	EACKEvictions  uint64 // eACK cells overwritten before being matched
+	QSigMismatches uint64 // egress copies whose ingress stamp was evicted
+	SlotCollisions uint64 // distinct flows aliasing one register cell
+	Microbursts    uint64
+	SkippedPackets uint64 // filtered out by the monitor table
+}
+
+// flightNoSample marks a flight-size window with no observations yet.
+const flightNoSample = ^uint64(0)
+
+// DataPlane is the P4 pipeline model. It implements tap.Monitor: every
+// TAP copy flows through ProcessCopy exactly as mirrored packets flow
+// through the switch's programmable parser and match-action stages.
+type DataPlane struct {
+	cfg Config
+
+	// Per-flow register arrays, indexed by hash(5-tuple) % FlowTableSize.
+	bytesReg   *Register // cumulative IPv4 total-length bytes
+	pktsReg    *Register // cumulative packets
+	prevSeqReg *Register // Algorithm 1: previous sequence number
+	pktLossReg *Register // Algorithm 1: retransmission counter
+	rttReg     *Register // Algorithm 1: latest RTT (ns), indexed by ACK-flow ID
+	qdelayReg  *Register // latest per-flow queuing delay (ns)
+	highSeqReg *Register // highest seq+payload seen (flight-size numerator)
+	highAckReg *Register // highest cumulative ACK seen for the flow
+	flightReg  *Register // current flight estimate (bytes)
+	flightMaxW *Register // per-window flight maximum
+	flightMinW *Register // per-window flight minimum (flightNoSample = none)
+	lastArrReg *Register // last data-packet arrival (ns) for IAT
+	maxIATReg  *Register // per-window maximum inter-arrival time (ns)
+	firstSeen  *Register
+	lastSeen   *Register
+	finSeenReg *Register // 1 once a FIN was observed on the flow
+	announced  *Register // 1 once the long-flow digest was emitted
+	ownerLo    *Register // low 32 bits of owning flow ID, collision witness
+
+	// Algorithm 1 expected-ACK table.
+	eackSig *Register
+	eackTS  *Register
+
+	// Ingress-timestamp table for queuing-delay pairing.
+	qSig *Register
+	qTS  *Register
+
+	cms *CMS
+
+	// monitorTable is the match-action table steering which traffic
+	// the measurement program processes: an LPM match on the IPv4
+	// destination with actions "monitor" and "skip". The default
+	// action monitors everything; the control plane programs "skip"
+	// entries to exclude subnets (e.g. management traffic).
+	monitorTable *Table
+
+	// Microburst detector state (per monitored queue; the paper taps
+	// one core-switch port).
+	inBurst    bool
+	burstStart simtime.Time
+	burstPeak  simtime.Time
+	burstPkts  int
+	qBaseline  float64 // time-weighted EWMA of queuing delay, ns
+	qBaseTs    simtime.Time
+	qBaseInit  bool
+	lastQDelay simtime.Time
+	lastEgress simtime.Time
+
+	// OnLongFlow and OnMicroburst deliver data-plane digests to the
+	// control plane.
+	OnLongFlow   func(LongFlowEvent)
+	OnMicroburst func(MicroburstEvent)
+
+	// registry indexes every register instance by P4 name for the
+	// runtime API (register reads by name, like bfrt/P4Runtime).
+	registry map[string]*Register
+
+	Stats Stats
+}
+
+// New builds a pipeline with the given configuration.
+func New(cfg Config) *DataPlane {
+	cfg = cfg.WithDefaults()
+	n := cfg.FlowTableSize
+	d := &DataPlane{
+		cfg:        cfg,
+		bytesReg:   NewRegister("flow_bytes", n),
+		pktsReg:    NewRegister("flow_pkts", n),
+		prevSeqReg: NewRegister("prev_seq", n),
+		pktLossReg: NewRegister("pkt_loss", n),
+		rttReg:     NewRegister("rtt", n),
+		qdelayReg:  NewRegister("qdelay", n),
+		highSeqReg: NewRegister("high_seq", n),
+		highAckReg: NewRegister("high_ack", n),
+		flightReg:  NewRegister("flight", n),
+		flightMaxW: NewRegister("flight_max_w", n),
+		flightMinW: NewRegister("flight_min_w", n),
+		lastArrReg: NewRegister("last_arrival", n),
+		maxIATReg:  NewRegister("max_iat_w", n),
+		firstSeen:  NewRegister("first_seen", n),
+		lastSeen:   NewRegister("last_seen", n),
+		finSeenReg: NewRegister("fin_seen", n),
+		announced:  NewRegister("announced", n),
+		ownerLo:    NewRegister("owner_lo", n),
+		eackSig:    NewRegister("eack_sig", cfg.EACKTableSize),
+		eackTS:     NewRegister("eack_ts", cfg.EACKTableSize),
+		qSig:       NewRegister("qsig", cfg.QSigTableSize),
+		qTS:        NewRegister("qts", cfg.QSigTableSize),
+		cms:        NewCMS(cfg.CMSWidth, cfg.CMSDepth),
+		monitorTable: NewTable("monitored_subnets", 256,
+			[]MatchKind{MatchLPM}, []int{32}),
+	}
+	d.monitorTable.DefaultAction = "monitor"
+	d.registry = make(map[string]*Register)
+	for _, r := range []*Register{
+		d.bytesReg, d.pktsReg, d.prevSeqReg, d.pktLossReg, d.rttReg,
+		d.qdelayReg, d.highSeqReg, d.highAckReg, d.flightReg,
+		d.flightMaxW, d.flightMinW, d.lastArrReg, d.maxIATReg,
+		d.firstSeen, d.lastSeen, d.finSeenReg, d.announced, d.ownerLo,
+		d.eackSig, d.eackTS, d.qSig, d.qTS,
+	} {
+		d.registry[r.Name()] = r
+	}
+	for i := 0; i < n; i++ {
+		d.flightMinW.Write(uint32(i), flightNoSample)
+	}
+	return d
+}
+
+// Config returns the pipeline configuration after defaulting.
+func (d *DataPlane) Config() Config { return d.cfg }
+
+// ProcessCopy implements tap.Monitor. Ingress copies drive the
+// measurement algorithms; egress copies close the queuing-delay
+// measurement and feed the microburst detector.
+func (d *DataPlane) ProcessCopy(c tap.Copy) {
+	switch c.Point {
+	case tap.Ingress:
+		d.Stats.IngressCopies++
+		d.processIngress(c.Pkt, c.At)
+	case tap.Egress:
+		d.Stats.EgressCopies++
+		d.processEgress(c.Pkt, c.At)
+	}
+}
+
+// processIngress executes the per-packet measurement program: byte and
+// packet counting, long-flow detection, Algorithm 1 (RTT and packet
+// loss), flight-size tracking and inter-arrival times.
+func (d *DataPlane) processIngress(pkt *packet.Packet, now simtime.Time) {
+	// The monitor table decides whether this packet enters the
+	// measurement program at all.
+	if action, _, _ := d.monitorTable.Lookup([]uint64{ipKey(pkt.DstIP)}); action == "skip" {
+		d.Stats.SkippedPackets++
+		return
+	}
+
+	ft := pkt.FiveTuple()
+	id := HashFiveTuple(ft)
+	idx := uint32(id)
+
+	// Stamp the ingress time for queuing-delay pairing with the egress
+	// copy (both directions transit the core switch).
+	qidx := hash2(id, uint64(pkt.IPID))
+	d.qSig.Write(qidx, uint64(id)<<16|uint64(pkt.IPID))
+	d.qTS.Write(qidx, uint64(now))
+
+	// Byte and packet counters come from the IPv4 total-length field.
+	d.bytesReg.Add(idx, uint64(pkt.TotalLen))
+	d.pktsReg.Add(idx, 1)
+	if d.firstSeen.Read(idx) == 0 {
+		d.firstSeen.Write(idx, uint64(now))
+	}
+	d.lastSeen.Write(idx, uint64(now))
+
+	// Collision witness: note when two distinct flows alias a cell.
+	if prev := d.ownerLo.Read(idx); prev != 0 && prev != uint64(id) {
+		d.Stats.SlotCollisions++
+	}
+	d.ownerLo.Write(idx, uint64(id))
+
+	if pkt.Proto == packet.ProtoTCP && pkt.Flags&packet.FlagFIN != 0 {
+		d.finSeenReg.Write(idx, 1)
+	}
+
+	switch {
+	case pkt.CarriesData():
+		d.processData(pkt, ft, id, idx, now)
+	case pkt.IsACKOnly():
+		d.processAck(pkt, id, now)
+	}
+}
+
+// processData is the Seq branch of Algorithm 1 plus the auxiliary
+// long-flow, flight and IAT bookkeeping.
+func (d *DataPlane) processData(pkt *packet.Packet, ft packet.FiveTuple, id FlowID, idx uint32, now simtime.Time) {
+	// Inter-arrival time (the mmWave blockage signal, §5.4.3).
+	if last := d.lastArrReg.Read(idx); last != 0 {
+		iat := uint64(now) - last
+		d.maxIATReg.Max(idx, iat)
+	}
+	d.lastArrReg.Write(idx, uint64(now))
+
+	// Long-flow detection via the count-min sketch.
+	est := d.cms.Update(ft, uint64(pkt.TotalLen))
+	if est >= d.cfg.LongFlowBytes && d.announced.Read(idx) == 0 {
+		d.announced.Write(idx, 1)
+		if d.OnLongFlow != nil {
+			d.OnLongFlow(LongFlowEvent{
+				ID:    id,
+				RevID: HashReverse(ft),
+				Tuple: ft,
+				At:    now,
+				Bytes: est,
+			})
+		}
+	}
+
+	if pkt.Proto != packet.ProtoTCP {
+		return
+	}
+
+	// Algorithm 1, Seq branch: a sequence number below the previous one
+	// is a retransmission, i.e. evidence of packet loss.
+	prev := d.prevSeqReg.Read(idx)
+	if pkt.SeqExt < prev {
+		d.pktLossReg.Add(idx, 1)
+	} else {
+		d.prevSeqReg.Write(idx, pkt.SeqExt)
+
+		// Store the expected-ACK signature and timestamp.
+		revID := HashReverse(ft)
+		eack := pkt.ExpectedAck()
+		sig := uint64(revID)<<32 | (eack & 0xffffffff)
+		eidx := hash2(revID, eack)
+		if old := d.eackSig.Read(eidx); old != 0 && old != sig {
+			d.Stats.EACKEvictions++
+		}
+		d.eackSig.Write(eidx, sig)
+		d.eackTS.Write(eidx, uint64(now))
+	}
+
+	// Flight size numerator: highest sequence byte dispatched.
+	d.highSeqReg.Max(idx, pkt.ExpectedAck())
+	d.updateFlight(idx, now)
+}
+
+// processAck is the ACK branch of Algorithm 1: match the cumulative ACK
+// against a stored expected-ACK signature to produce an RTT sample, and
+// advance the data flow's acknowledged high-water mark.
+func (d *DataPlane) processAck(pkt *packet.Packet, id FlowID, now simtime.Time) {
+	ack := pkt.AckExt
+	sig := uint64(id)<<32 | (ack & 0xffffffff)
+	eidx := hash2(id, ack)
+	if d.eackSig.Read(eidx) == sig {
+		ts := d.eackTS.Read(eidx)
+		if ts != 0 {
+			rtt := uint64(now) - ts
+			// Algorithm 1 stores the RTT at the ACK packet's flow ID;
+			// the control plane joins it back via the reversed ID.
+			d.rttReg.Write(uint32(id), rtt)
+			d.Stats.RTTSamples++
+		}
+		d.eackSig.Write(eidx, 0)
+		d.eackTS.Write(eidx, 0)
+	}
+
+	// The ACK acknowledges the reverse flow's data.
+	dataID := HashReverse(pkt.FiveTuple())
+	dataIdx := uint32(dataID)
+	d.highAckReg.Max(dataIdx, ack)
+	d.updateFlight(dataIdx, now)
+}
+
+// updateFlight recomputes the flow's bytes-in-flight estimate
+// (transmitted but unacknowledged, §4.4) and folds it into the
+// per-window min/max registers the limitation classifier reads.
+func (d *DataPlane) updateFlight(idx uint32, now simtime.Time) {
+	hi := d.highSeqReg.Read(idx)
+	lo := d.highAckReg.Read(idx)
+	var flight uint64
+	if hi > lo && lo != 0 {
+		flight = hi - lo
+	}
+	d.flightReg.Write(idx, flight)
+	if lo == 0 {
+		return // no ACK observed yet; window stats would be misleading
+	}
+	d.flightMaxW.Max(idx, flight)
+	if cur := d.flightMinW.Read(idx); flight < cur {
+		d.flightMinW.Write(idx, flight)
+	}
+}
+
+// processEgress pairs the egress copy with its stored ingress timestamp
+// to measure the packet's time inside the core switch (§4.2), updates
+// the per-flow queuing-delay register, and runs the per-packet
+// microburst detector (§3.3.3).
+func (d *DataPlane) processEgress(pkt *packet.Packet, now simtime.Time) {
+	id := HashFiveTuple(pkt.FiveTuple())
+	qidx := hash2(id, uint64(pkt.IPID))
+	want := uint64(id)<<16 | uint64(pkt.IPID)
+	if d.qSig.Read(qidx) != want {
+		d.Stats.QSigMismatches++
+		return
+	}
+	ingressTS := d.qTS.Read(qidx)
+	d.qSig.Write(qidx, 0)
+	d.qTS.Write(qidx, 0)
+	if ingressTS == 0 || uint64(now) < ingressTS {
+		d.Stats.QSigMismatches++
+		return
+	}
+	qdelay := simtime.Time(uint64(now) - ingressTS)
+	d.qdelayReg.Write(uint32(id), uint64(qdelay))
+	d.lastQDelay = qdelay
+	d.lastEgress = now
+	d.detectMicroburst(qdelay, now)
+}
+
+// detectMicroburst compares each packet's queuing delay against the
+// adaptive EWMA baseline: a sudden excursion above BurstFactor x
+// baseline (and the absolute floor) opens a burst; falling back toward
+// the baseline closes it and emits the event with nanosecond start
+// time and duration. The baseline keeps adapting slowly during a burst
+// so a sustained congestion episode self-terminates rather than being
+// reported as one endless microburst.
+func (d *DataPlane) detectMicroburst(qdelay simtime.Time, now simtime.Time) {
+	q := float64(qdelay)
+	if !d.qBaseInit {
+		d.qBaseline = q
+		d.qBaseTs = now
+		d.qBaseInit = true
+		return
+	}
+	// Time-weighted baseline update: alpha = dt/tau, clamped to 1.
+	// Back-to-back trains (dt ~ microseconds) barely move it; slow
+	// ramps (dt comparable to tau) track.
+	updateBaseline := func(scale float64) {
+		dt := float64(now - d.qBaseTs)
+		alpha := dt / float64(d.cfg.BurstBaselineTau) * scale
+		if alpha > 1 {
+			alpha = 1
+		}
+		if alpha > 0 {
+			d.qBaseline += (q - d.qBaseline) * alpha
+		}
+		d.qBaseTs = now
+	}
+	if !d.inBurst {
+		if q > d.cfg.BurstFactor*d.qBaseline && qdelay >= d.cfg.BurstFloor {
+			d.inBurst = true
+			d.burstStart = now - qdelay // the burst began as the queue built
+			if d.burstStart < 0 {
+				d.burstStart = 0
+			}
+			d.burstPeak = qdelay
+			d.burstPkts = 1
+			d.qBaseTs = now
+			return
+		}
+		updateBaseline(1)
+		return
+	}
+	d.burstPkts++
+	if qdelay > d.burstPeak {
+		d.burstPeak = qdelay
+	}
+	// During a burst the baseline still adapts (slower), so a sustained
+	// congestion episode self-terminates instead of reporting as one
+	// endless microburst.
+	updateBaseline(0.25)
+	if q < d.cfg.BurstEndFactor*d.qBaseline || qdelay < d.cfg.BurstFloor/2 {
+		d.inBurst = false
+		d.Stats.Microbursts++
+		if d.OnMicroburst != nil {
+			d.OnMicroburst(MicroburstEvent{
+				Start:     d.burstStart,
+				Duration:  now - d.burstStart,
+				PeakDelay: d.burstPeak,
+				Packets:   d.burstPkts,
+			})
+		}
+	}
+}
+
+// CurrentQueueDelay returns the most recent per-packet queuing delay —
+// what a control plane sampling the queue would read.
+func (d *DataPlane) CurrentQueueDelay() simtime.Time { return d.lastQDelay }
+
+// MonitorTable exposes the monitored-subnets match-action table for
+// control-plane programming (directly or through the p4runtime layer).
+func (d *DataPlane) MonitorTable() *Table { return d.monitorTable }
+
+// RegisterByName looks up a register instance by its P4 name, the way
+// the switch runtime API addresses state. Returns nil when unknown.
+func (d *DataPlane) RegisterByName(name string) *Register { return d.registry[name] }
+
+// RegisterNames lists the pipeline's register instances, sorted.
+func (d *DataPlane) RegisterNames() []string {
+	names := make([]string, 0, len(d.registry))
+	for n := range d.registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ipKey packs an IPv4 address into a 32-bit table key.
+func ipKey(a netip.Addr) uint64 {
+	b := a.As4()
+	return uint64(b[0])<<24 | uint64(b[1])<<16 | uint64(b[2])<<8 | uint64(b[3])
+}
+
+// SkipSubnet programs the monitor table to exclude a destination
+// prefix from measurement.
+func (d *DataPlane) SkipSubnet(prefix netip.Prefix) error {
+	return d.monitorTable.Insert(TableEntry{
+		Match: []FieldMatch{{
+			Value:     ipKey(prefix.Addr()),
+			PrefixLen: prefix.Bits(),
+		}},
+		Action:   "skip",
+		Priority: prefix.Bits(),
+	})
+}

@@ -1,0 +1,70 @@
+// Package dataplane models the P4 program the paper deploys on the
+// Tofino switch: a programmable parser feeding match-action logic that
+// maintains per-flow state in fixed-size, hash-indexed register arrays.
+// The model preserves the hardware's semantics — bounded tables,
+// CRC-style hashing, collisions that alias state — so that the control
+// plane above it faces the same realities the paper's does.
+package dataplane
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+
+	"repro/internal/packet"
+)
+
+// FlowID is the hash of a flow's 5-tuple — the identity the data plane
+// reports to the control plane (§4).
+type FlowID uint32
+
+// crcTable mirrors the CRC32 polynomial Tofino's hash engines commonly
+// use (Castagnoli).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// HashFiveTuple computes the flow ID exactly as the paper's pipeline
+// does: a CRC hash over source IP, destination IP, source port,
+// destination port and protocol.
+func HashFiveTuple(ft packet.FiveTuple) FlowID {
+	var buf [13]byte
+	src := ft.SrcIP.As4()
+	dst := ft.DstIP.As4()
+	copy(buf[0:4], src[:])
+	copy(buf[4:8], dst[:])
+	binary.BigEndian.PutUint16(buf[8:10], ft.SrcPort)
+	binary.BigEndian.PutUint16(buf[10:12], ft.DstPort)
+	buf[12] = uint8(ft.Proto)
+	return FlowID(crc32.Checksum(buf[:], crcTable))
+}
+
+// HashReverse computes the "reversed ID": the hash with the source and
+// destination fields swapped. The data plane uses it to find the flow
+// an acknowledgment belongs to (§4).
+func HashReverse(ft packet.FiveTuple) FlowID {
+	return HashFiveTuple(ft.Reverse())
+}
+
+// hash2 combines a flow ID with a second word (an expected ACK number,
+// an IP ID) into a register index, the way the pipeline builds the
+// packet signatures of Algorithm 1.
+func hash2(id FlowID, v uint64) uint32 {
+	var buf [12]byte
+	binary.BigEndian.PutUint32(buf[0:4], uint32(id))
+	binary.BigEndian.PutUint64(buf[4:12], v)
+	return crc32.Checksum(buf[:], crcTable)
+}
+
+// hashAt computes a CMS row hash: the same bytes hashed with a
+// row-specific seed, emulating the independent hash units of the
+// hardware sketch.
+func hashAt(ft packet.FiveTuple, row uint32) uint32 {
+	var buf [17]byte
+	src := ft.SrcIP.As4()
+	dst := ft.DstIP.As4()
+	copy(buf[0:4], src[:])
+	copy(buf[4:8], dst[:])
+	binary.BigEndian.PutUint16(buf[8:10], ft.SrcPort)
+	binary.BigEndian.PutUint16(buf[10:12], ft.DstPort)
+	buf[12] = uint8(ft.Proto)
+	binary.BigEndian.PutUint32(buf[13:17], 0x9e3779b9*(row+1))
+	return crc32.Checksum(buf[:], crcTable)
+}

@@ -1,0 +1,65 @@
+package dataplane
+
+import "fmt"
+
+// Register is a fixed-size stateful register array, the P4 construct
+// the paper's per-flow statistics live in ("dedicated stateful
+// registers where the data plane can track 2048 active flows
+// simultaneously", §3.3.2). Cells are 64-bit, matching Tofino's paired
+// 32-bit register entries.
+type Register struct {
+	name  string
+	cells []uint64
+}
+
+// NewRegister allocates a register array.
+func NewRegister(name string, size int) *Register {
+	if size <= 0 {
+		panic(fmt.Sprintf("dataplane: register %s must have positive size", name))
+	}
+	return &Register{name: name, cells: make([]uint64, size)}
+}
+
+// Name returns the register's P4 instance name.
+func (r *Register) Name() string { return r.name }
+
+// Size returns the number of cells.
+func (r *Register) Size() int { return len(r.cells) }
+
+// index folds an arbitrary 32-bit value onto the array.
+func (r *Register) index(i uint32) uint32 { return i % uint32(len(r.cells)) }
+
+// Read returns cell i (mod size).
+func (r *Register) Read(i uint32) uint64 { return r.cells[r.index(i)] }
+
+// Write stores v at cell i (mod size).
+func (r *Register) Write(i uint32, v uint64) { r.cells[r.index(i)] = v }
+
+// Add increments cell i (mod size) by delta.
+func (r *Register) Add(i uint32, delta uint64) { r.cells[r.index(i)] += delta }
+
+// Max raises cell i to v if v is larger.
+func (r *Register) Max(i uint32, v uint64) {
+	idx := r.index(i)
+	if v > r.cells[idx] {
+		r.cells[idx] = v
+	}
+}
+
+// Snapshot copies the register contents into dst (allocating if nil) —
+// the bulk register read the control plane performs through the
+// switch-manufacturer APIs.
+func (r *Register) Snapshot(dst []uint64) []uint64 {
+	if dst == nil || len(dst) < len(r.cells) {
+		dst = make([]uint64, len(r.cells))
+	}
+	copy(dst, r.cells)
+	return dst[:len(r.cells)]
+}
+
+// Clear zeroes every cell.
+func (r *Register) Clear() {
+	for i := range r.cells {
+		r.cells[i] = 0
+	}
+}

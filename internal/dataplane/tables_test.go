@@ -1,0 +1,169 @@
+package dataplane
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/packet"
+	"repro/internal/simtime"
+)
+
+func TestTableExactMatch(t *testing.T) {
+	tb := NewTable("t", 8, []MatchKind{MatchExact}, []int{32})
+	tb.DefaultAction = "drop"
+	if err := tb.Insert(TableEntry{Match: []FieldMatch{{Value: 42}}, Action: "fwd", Params: []uint64{3}}); err != nil {
+		t.Fatal(err)
+	}
+	action, params, hit := tb.Lookup([]uint64{42})
+	if !hit || action != "fwd" || params[0] != 3 {
+		t.Fatalf("lookup: %s %v %v", action, params, hit)
+	}
+	action, _, hit = tb.Lookup([]uint64{43})
+	if hit || action != "drop" {
+		t.Fatalf("miss handling: %s %v", action, hit)
+	}
+	if tb.Hits != 1 || tb.Misses != 1 {
+		t.Fatalf("stats %d/%d", tb.Hits, tb.Misses)
+	}
+}
+
+func TestTableLPMLongestWins(t *testing.T) {
+	tb := NewTable("t", 8, []MatchKind{MatchLPM}, []int{32})
+	wide := TableEntry{
+		Match:    []FieldMatch{{Value: 0xC0A80000, PrefixLen: 16}}, // 192.168/16
+		Action:   "wide",
+		Priority: 16,
+	}
+	narrow := TableEntry{
+		Match:    []FieldMatch{{Value: 0xC0A80700, PrefixLen: 24}}, // 192.168.7/24
+		Action:   "narrow",
+		Priority: 24,
+	}
+	tb.Insert(wide)
+	tb.Insert(narrow)
+	if a, _, _ := tb.Lookup([]uint64{0xC0A80701}); a != "narrow" {
+		t.Fatalf("got %s", a)
+	}
+	if a, _, _ := tb.Lookup([]uint64{0xC0A80801}); a != "wide" {
+		t.Fatalf("got %s", a)
+	}
+}
+
+func TestTableTernary(t *testing.T) {
+	tb := NewTable("t", 8, []MatchKind{MatchTernary}, []int{16})
+	tb.Insert(TableEntry{
+		Match:    []FieldMatch{{Value: 0x1400, Mask: 0xFF00}}, // ports 0x14xx
+		Action:   "mark",
+		Priority: 10,
+	})
+	if a, _, hit := tb.Lookup([]uint64{0x14FF}); !hit || a != "mark" {
+		t.Fatalf("ternary match failed: %s", a)
+	}
+	if _, _, hit := tb.Lookup([]uint64{0x1500}); hit {
+		t.Fatal("ternary false positive")
+	}
+}
+
+func TestTableCapacity(t *testing.T) {
+	tb := NewTable("t", 2, []MatchKind{MatchExact}, []int{32})
+	tb.Insert(TableEntry{Match: []FieldMatch{{Value: 1}}, Action: "a"})
+	tb.Insert(TableEntry{Match: []FieldMatch{{Value: 2}}, Action: "a"})
+	if err := tb.Insert(TableEntry{Match: []FieldMatch{{Value: 3}}, Action: "a"}); err == nil {
+		t.Fatal("full table must reject inserts")
+	}
+}
+
+func TestTableDelete(t *testing.T) {
+	tb := NewTable("t", 8, []MatchKind{MatchExact}, []int{32})
+	e := TableEntry{Match: []FieldMatch{{Value: 7}}, Action: "a"}
+	tb.Insert(e)
+	if err := tb.Delete(e); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 0 {
+		t.Fatal("entry not removed")
+	}
+	if err := tb.Delete(e); err == nil {
+		t.Fatal("deleting a missing entry must error")
+	}
+}
+
+func TestTableFieldCountValidation(t *testing.T) {
+	tb := NewTable("t", 8, []MatchKind{MatchExact, MatchExact}, []int{32, 16})
+	if err := tb.Insert(TableEntry{Match: []FieldMatch{{Value: 1}}, Action: "a"}); err == nil {
+		t.Fatal("wrong field count must be rejected")
+	}
+}
+
+func TestMonitorTableSkipsSubnet(t *testing.T) {
+	d := New(Config{})
+	if err := d.SkipSubnet(netip.MustParsePrefix("192.168.2.0/24")); err != nil {
+		t.Fatal(err)
+	}
+
+	mk := func(dst string) *packet.Packet {
+		ft := flow()
+		ft.DstIP = packet.MustAddr(dst)
+		p := packet.NewTCP(ft, 1, 0, packet.FlagACK|packet.FlagPSH, 1000)
+		p.IPID = 1
+		return p
+	}
+	d.ProcessCopy(ingress(mk("192.168.2.10"), simtime.Millisecond)) // skipped
+	d.ProcessCopy(ingress(mk("192.168.1.10"), simtime.Millisecond)) // monitored
+
+	if d.Stats.SkippedPackets != 1 {
+		t.Fatalf("skipped=%d", d.Stats.SkippedPackets)
+	}
+	skipped := packet.FiveTuple{
+		SrcIP: flow().SrcIP, DstIP: packet.MustAddr("192.168.2.10"),
+		SrcPort: flow().SrcPort, DstPort: flow().DstPort, Proto: packet.ProtoTCP,
+	}
+	if s := d.ReadFlow(HashFiveTuple(skipped), HashReverse(skipped)); s.Pkts != 0 {
+		t.Fatal("skipped packet updated registers")
+	}
+	monitored := skipped
+	monitored.DstIP = packet.MustAddr("192.168.1.10")
+	if s := d.ReadFlow(HashFiveTuple(monitored), HashReverse(monitored)); s.Pkts != 1 {
+		t.Fatal("monitored packet not counted")
+	}
+}
+
+func TestMonitorTableDefaultMonitorsEverything(t *testing.T) {
+	d := New(Config{})
+	p := dataPkt(flow(), 1, 1000, 1)
+	d.ProcessCopy(ingress(p, simtime.Millisecond))
+	if d.Stats.SkippedPackets != 0 {
+		t.Fatal("default action must monitor")
+	}
+}
+
+func TestTableLookupDeterministicProperty(t *testing.T) {
+	// Property: for any set of exact entries, lookup of an inserted key
+	// returns its action; lookup of any other key misses.
+	f := func(keys []uint32, probe uint32) bool {
+		tb := NewTable("t", 1024, []MatchKind{MatchExact}, []int{32})
+		tb.DefaultAction = "miss"
+		inserted := map[uint64]bool{}
+		for _, k := range keys {
+			if len(inserted) >= 1024 {
+				break
+			}
+			if inserted[uint64(k)] {
+				continue
+			}
+			if err := tb.Insert(TableEntry{Match: []FieldMatch{{Value: uint64(k)}}, Action: "hit"}); err != nil {
+				return false
+			}
+			inserted[uint64(k)] = true
+		}
+		a, _, hit := tb.Lookup([]uint64{uint64(probe)})
+		if inserted[uint64(probe)] {
+			return hit && a == "hit"
+		}
+		return !hit && a == "miss"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// quickFig9 is a short fast-scale run shared by several tests; the
+// simulation is deterministic, so one cached run serves them all.
+var (
+	quickFig9Once   sync.Once
+	quickFig9Result *Fig9Result
+)
+
+func quickFig9(t *testing.T) *Fig9Result {
+	t.Helper()
+	quickFig9Once.Do(func() {
+		quickFig9Result = RunFig9(Fig9Config{
+			Duration: 45 * simtime.Second,
+			JoinAt:   15 * simtime.Second,
+		})
+	})
+	return quickFig9Result
+}
+
+func TestFig9ThreeFlowsVisible(t *testing.T) {
+	r := quickFig9(t)
+	if len(r.Throughput) != 3 {
+		t.Fatalf("throughput series for %d destinations, want 3", len(r.Throughput))
+	}
+	if len(r.RTT) == 0 || len(r.QueueOcc) == 0 || len(r.Loss) == 0 {
+		t.Fatal("missing panels")
+	}
+}
+
+func TestFig9ConvergesTowardFairShare(t *testing.T) {
+	r := quickFig9(t)
+	// After the join, each flow's late throughput should be in the
+	// neighbourhood of the fair share (paper: "around 5 Gbps for each"
+	// with 2 flows; a third joining pulls everyone toward ~3.3 Gbps).
+	for dst, ser := range r.Throughput {
+		pts := ser.Between(38*simtime.Second, 46*simtime.Second)
+		if len(pts) == 0 {
+			t.Fatalf("no late samples for %s", dst)
+		}
+		var mean float64
+		for _, p := range pts {
+			mean += p.V
+		}
+		mean /= float64(len(pts))
+		if mean < 0.3*r.FairShareBps || mean > 2.5*r.FairShareBps {
+			t.Fatalf("%s late throughput %.1f Mbps not near fair share %.1f Mbps",
+				dst, mean/1e6, r.FairShareBps/1e6)
+		}
+	}
+}
+
+func TestFig9JoinCausesLossSpike(t *testing.T) {
+	r := quickFig9(t)
+	if !r.JoinLossSpike {
+		t.Fatal("no loss spike observed at the third flow's join (paper: burst overflows the queue)")
+	}
+}
+
+func TestFig9RTTsReflectPaths(t *testing.T) {
+	r := quickFig9(t)
+	// Base RTTs are 50/75/100 ms; queueing can add up to the buffer
+	// drain time. Every reported RTT must be >= its base path RTT and
+	// within base + ~2x drain.
+	base := map[string]float64{
+		"192.168.1.10": 50,
+		"192.168.2.10": 75,
+		"192.168.3.10": 100,
+	}
+	for dst, ser := range r.RTT {
+		want := base[dst]
+		for _, p := range ser.Points {
+			if p.V < want*0.95 {
+				t.Fatalf("%s RTT %.1fms below path RTT %.0fms", dst, p.V, want)
+			}
+			if p.V > want+400 {
+				t.Fatalf("%s RTT %.1fms implausibly high", dst, p.V)
+			}
+		}
+	}
+}
+
+func TestFig10UtilizationAndFairnessDip(t *testing.T) {
+	r := quickFig9(t)
+	// Link utilisation approaches 1 once flows ramp (paper: "the link
+	// being fully utilized").
+	late := r.Utilization.Between(30*simtime.Second, 46*simtime.Second)
+	var mean float64
+	for _, p := range late {
+		mean += p.V
+	}
+	if len(late) == 0 {
+		t.Fatal("no late utilization samples")
+	}
+	mean /= float64(len(late))
+	if mean < 0.85 {
+		t.Fatalf("late utilization %.2f, want near 1", mean)
+	}
+	// Fairness dips below 0.9 right after the join, then converges
+	// (paper: ~20 s of unfairness while the three flows converge).
+	if r.UnfairWindow == 0 {
+		t.Fatal("no unfairness window after the join")
+	}
+	if r.ConvergedFairness < 0.75 {
+		t.Fatalf("converged fairness %.3f, want >0.75", r.ConvergedFairness)
+	}
+}
+
+func TestFig11MicroburstImpact(t *testing.T) {
+	r := RunFig11(Fig11Config{
+		Duration: 30 * simtime.Second,
+		BurstAt:  15 * simtime.Second,
+	})
+	if len(r.Bursts) == 0 {
+		t.Fatal("data plane detected no microburst")
+	}
+	// The burst must land near the injection time, with nanosecond
+	// fields populated.
+	found := false
+	for _, b := range r.Bursts {
+		at := simtime.Time(b.TimeNs)
+		if at >= 14500*simtime.Millisecond && at <= 15500*simtime.Millisecond {
+			found = true
+			if b.DurationNs <= 0 || b.PeakDelayNs <= 0 {
+				t.Fatalf("burst fields incomplete: %+v", b)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no burst near t=15s; bursts at %v", r.Bursts[0].TimeNs)
+	}
+	// Loss must cross the paper's 0.05% threshold for at least one flow.
+	if r.FlowsOver005 == 0 {
+		t.Fatalf("no flow crossed 0.05%% loss (max %.4f%%)", r.MaxLossPct)
+	}
+	// Throughput must dip and then recover within the run.
+	if r.PostBurstDipBps >= 0.9*r.PreBurstAggBps {
+		t.Fatal("no visible throughput dip after the burst")
+	}
+	if r.RecoveryTime == 0 {
+		t.Fatal("throughput never recovered")
+	}
+}
+
+var (
+	quickFig12Once   sync.Once
+	quickFig12Result *Fig12Result
+)
+
+func quickFig12(t *testing.T) *Fig12Result {
+	t.Helper()
+	quickFig12Once.Do(func() {
+		quickFig12Result = RunFig12(Fig12Config{Duration: 30 * simtime.Second})
+	})
+	return quickFig12Result
+}
+
+func TestFig12VerdictsCorrect(t *testing.T) {
+	r := quickFig12(t)
+	if !r.Correct() {
+		t.Fatalf("verdicts wrong: got %v, want %v", r.Verdicts, r.Expected)
+	}
+}
+
+func TestFig12SteadyVsFluctuating(t *testing.T) {
+	r := quickFig12(t)
+	dtn2 := "192.168.2.10"
+	dtn3 := "192.168.3.10"
+	// DTN3 pinned at the pacing rate (paper: steady at 500 Mbps —
+	// 25 Mbps at fast scale).
+	pace := r.Config.SenderPaceBps
+	if m := r.SteadyMean[dtn3]; m < 0.85*pace || m > 1.1*pace {
+		t.Fatalf("DTN3 steady mean %.1f Mbps, want ~%.1f", m/1e6, pace/1e6)
+	}
+	// DTN2 near the receiver cap (paper: steady ~250 Mbps — 12.5 at
+	// fast scale).
+	cap2 := r.Config.ReceiverCapBps
+	if m := r.SteadyMean[dtn2]; m < 0.5*cap2 || m > 1.3*cap2 {
+		t.Fatalf("DTN2 steady mean %.1f Mbps, want ~%.1f", m/1e6, cap2/1e6)
+	}
+	// Steady flows must have low variation.
+	if r.SteadyCV[dtn3] > 0.1 {
+		t.Fatalf("DTN3 cv %.3f, want steady", r.SteadyCV[dtn3])
+	}
+}
+
+func TestFig13IATOrdersOfMagnitude(t *testing.T) {
+	r := RunFig13(Fig13Config{})
+	if r.IATIncrease < 1000 {
+		t.Fatalf("IAT increase %.0fx, want orders of magnitude", r.IATIncrease)
+	}
+	if r.Blockage.MaxIAT < 1900*simtime.Millisecond {
+		t.Fatalf("blocked max IAT %v, want ~2s", r.Blockage.MaxIAT)
+	}
+}
+
+func TestFig14DetectorOrdering(t *testing.T) {
+	r := RunFig14(Fig13Config{})
+	if !r.OrderingHolds {
+		t.Fatalf("detector ordering violated: %+v", r.Results)
+	}
+}
+
+func TestTable1AllClaimsHold(t *testing.T) {
+	r := RunTable1(Table1Config{})
+	if !r.Holds() {
+		t.Fatalf("Table 1 claims not all backed:\n%s", r.Render())
+	}
+	if len(r.Rows) != 7 {
+		t.Fatalf("rows=%d", len(r.Rows))
+	}
+	// The render itself must carry the comparison.
+	if s := r.Render(); len(s) < 100 || strings.Contains(s, "(no data)") {
+		t.Fatalf("table1 render: %q", s)
+	}
+}
+
+func TestRendersProduceOutput(t *testing.T) {
+	f9 := quickFig9(t)
+	for name, s := range map[string]string{
+		"fig9":  f9.Render(),
+		"fig10": f9.RenderFig10(),
+	} {
+		if len(s) < 100 {
+			t.Fatalf("%s render too small: %q", name, s)
+		}
+		if strings.Contains(s, "(no data)") {
+			t.Fatalf("%s rendered empty panels:\n%s", name, s)
+		}
+	}
+}
+
+func TestFig9SaveCSV(t *testing.T) {
+	r := quickFig9(t)
+	dir := t.TempDir()
+	if err := r.SaveCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScales(t *testing.T) {
+	if Paper().Bottleneck() != 10e9 {
+		t.Fatal("paper bottleneck wrong")
+	}
+	if Fast().Bottleneck() != 500e6 {
+		t.Fatal("fast bottleneck wrong")
+	}
+	if Fast().Rate(500e6) != 25e6 {
+		t.Fatal("rate scaling wrong")
+	}
+}
+
+func TestFig9Deterministic(t *testing.T) {
+	cfg := Fig9Config{Duration: 8 * simtime.Second, JoinAt: 3 * simtime.Second, Seed: 11}
+	sa := fingerprint(RunFig9(cfg))
+	sb := fingerprint(RunFig9(cfg))
+	if sa != sb {
+		t.Fatalf("same seed produced different results:\n%s\nvs\n%s", sa, sb)
+	}
+}
+
+// fingerprint summarises every emitted report for determinism checks.
+func fingerprint(r *Fig9Result) string {
+	var b strings.Builder
+	for _, rep := range r.System.Reports.Reports {
+		fmt.Fprintf(&b, "%s|%d|%s|%.6g|%s\n", rep.Kind, rep.TimeNs, rep.Metric, rep.Value, rep.FlowID)
+	}
+	return b.String()
+}

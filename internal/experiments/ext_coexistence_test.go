@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestExtCoexistenceSharesAndIdentification(t *testing.T) {
+	r := RunExtCoexistence(CoexistenceConfig{Duration: 60 * simtime.Second})
+
+	// Coexistence (the BBRv2-style result of Gomez et al.): neither CCA
+	// starves; both hold a meaningful share of the 500 Mbps bottleneck.
+	total := r.ShareCubic + r.ShareBBR
+	if total < 0.8*500e6 {
+		t.Fatalf("aggregate %.1f Mbps underutilises the link", total/1e6)
+	}
+	if r.ShareCubic < 0.15*total || r.ShareBBR < 0.15*total {
+		t.Fatalf("starvation: cubic %.1f Mbps vs bbr %.1f Mbps", r.ShareCubic/1e6, r.ShareBBR/1e6)
+	}
+
+	// P4CCI-style identification from the data plane's flight signal.
+	if !r.Correct() {
+		t.Fatalf("CCA identification wrong: %v (signatures %v)", r.Identified, r.Signature)
+	}
+	// The two signatures must be separated by a wide margin, not a
+	// knife's edge.
+	if r.Signature["cubic"] < 2*r.Signature["bbr"] {
+		t.Fatalf("signatures too close: %v", r.Signature)
+	}
+}
+
+func TestExtCoexistenceRender(t *testing.T) {
+	r := RunExtCoexistence(CoexistenceConfig{Duration: 30 * simtime.Second})
+	out := r.Render()
+	if !strings.Contains(out, "flight-cubic") || !strings.Contains(out, "identification correct") {
+		t.Fatalf("render: %q", out)
+	}
+}

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/controlplane"
+	"repro/internal/core"
+	"repro/internal/export"
+	"repro/internal/metrics"
+	"repro/internal/simtime"
+	"repro/internal/tcp"
+)
+
+// Fig9Config parameterises the per-flow monitoring run of §5.2: two
+// data transfers are in progress and a third joins mid-run, exposing
+// TCP convergence in all four per-flow metrics.
+type Fig9Config struct {
+	Scale Scale
+	// Duration of the whole run; default 60 s.
+	Duration simtime.Time
+	// JoinAt is when the third transfer starts; default 20 s.
+	JoinAt simtime.Time
+	// Seed for reproducibility.
+	Seed uint64
+}
+
+func (c Fig9Config) withDefaults() Fig9Config {
+	if c.Scale.Factor == 0 {
+		c.Scale = Fast()
+	}
+	if c.Duration <= 0 {
+		c.Duration = 60 * simtime.Second
+	}
+	if c.JoinAt <= 0 {
+		c.JoinAt = 20 * simtime.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// Fig9Result carries the four per-flow panels of Figure 9 plus the
+// aggregates of Figure 10 (both come from the same run).
+type Fig9Result struct {
+	Config Fig9Config
+	// Per-destination series, keyed by external DTN address — the
+	// Grafana grouping of §5.1.
+	Throughput map[string]*metrics.Series // bps
+	RTT        map[string]*metrics.Series // ms
+	QueueOcc   map[string]*metrics.Series // percent
+	Loss       map[string]*metrics.Series // percent (per reporting window)
+
+	// Figure 10 panels.
+	Utilization *metrics.Series
+	Fairness    *metrics.Series
+	ActiveFlows *metrics.Series
+
+	// Shape diagnostics.
+	FairShareBps      float64
+	ConvergedFairness float64 // mean fairness over the final quarter
+	UnfairWindow      simtime.Time
+	JoinLossSpike     bool // losses observed around the join
+	System            *core.System
+}
+
+// RunFig9 executes the experiment.
+func RunFig9(cfg Fig9Config) *Fig9Result {
+	cfg = cfg.withDefaults()
+	sys := core.NewSystem(core.Options{
+		BottleneckBps: cfg.Scale.Bottleneck(),
+		RTTs:          RTTs(),
+		Seed:          cfg.Seed,
+	})
+	sys.Start()
+
+	sender := tcp.Config{MSS: cfg.Scale.MSS}
+	sys.TransferToExternal(0, 0, 0, cfg.Duration, sender, tcp.Config{})
+	sys.TransferToExternal(1, 0, 0, cfg.Duration, sender, tcp.Config{})
+	sys.TransferToExternal(2, cfg.JoinAt, 0, cfg.Duration-cfg.JoinAt, sender, tcp.Config{})
+	sys.Run(cfg.Duration)
+
+	res := &Fig9Result{
+		Config:     cfg,
+		Throughput: sys.SeriesByDestination(controlplane.MetricThroughput),
+		RTT:        sys.SeriesByDestination(controlplane.MetricRTT),
+		QueueOcc:   sys.SeriesByDestination(controlplane.MetricQueueOccupancy),
+		Loss:       sys.SeriesByDestination(controlplane.MetricPacketLoss),
+		System:     sys,
+	}
+	res.Utilization, res.Fairness, res.ActiveFlows = sys.AggregateSeries()
+	res.FairShareBps = cfg.Scale.Bottleneck() / 3
+
+	// Converged fairness: mean over the final quarter of the run.
+	tail := res.Fairness.Between(cfg.Duration*3/4, cfg.Duration+1)
+	var sum float64
+	for _, p := range tail {
+		sum += p.V
+	}
+	if len(tail) > 0 {
+		res.ConvergedFairness = sum / float64(len(tail))
+	}
+
+	// Unfair window: how long fairness stayed below 0.9 after the join.
+	var unfairStart, unfairEnd simtime.Time
+	for _, p := range res.Fairness.Between(cfg.JoinAt, cfg.Duration+1) {
+		if p.V < 0.9 {
+			if unfairStart == 0 {
+				unfairStart = p.T
+			}
+			unfairEnd = p.T
+		}
+	}
+	if unfairStart > 0 {
+		res.UnfairWindow = unfairEnd - unfairStart
+	}
+
+	// Loss spike during the convergence period following the join: the
+	// third flow tightens the operating point and the next synchronized
+	// CUBIC probe overflows the queue (HyStart absorbs the very first
+	// burst, so the spike lands within the convergence window rather
+	// than at the join instant).
+	for _, ser := range res.Loss {
+		for _, p := range ser.Between(cfg.JoinAt, cfg.JoinAt+25*simtime.Second) {
+			if p.V > 0 {
+				res.JoinLossSpike = true
+			}
+		}
+	}
+	return res
+}
+
+// sortedKeys returns the destination addresses in stable order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Render draws the four Figure 9 panels as ASCII charts.
+func (r *Fig9Result) Render() string {
+	var b strings.Builder
+	panel := func(title string, m map[string]*metrics.Series, scale float64, unit string) {
+		var list []*metrics.Series
+		for _, k := range sortedKeys(m) {
+			s := m[k]
+			if scale != 1 {
+				scaled := metrics.NewSeries(s.Name)
+				for _, p := range s.Points {
+					scaled.Append(p.T, p.V/scale)
+				}
+				s = scaled
+			}
+			list = append(list, s)
+		}
+		b.WriteString(export.Chart(fmt.Sprintf("%s (%s)", title, unit), 72, 12, list...))
+		b.WriteByte('\n')
+	}
+	panel("Figure 9: per-flow throughput", r.Throughput, 1e9, "Gbps")
+	panel("Figure 9: per-flow RTT", r.RTT, 1, "ms")
+	panel("Figure 9: queue occupancy", r.QueueOcc, 1, "%")
+	panel("Figure 9: packet losses", r.Loss, 1, "%")
+	return b.String()
+}
+
+// RenderFig10 draws the Figure 10 panels from the same run.
+func (r *Fig9Result) RenderFig10() string {
+	var b strings.Builder
+	b.WriteString(export.Chart("Figure 10: link utilization", 72, 10, r.Utilization))
+	b.WriteByte('\n')
+	b.WriteString(export.Chart("Figure 10: Jain's fairness index", 72, 10, r.Fairness))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "fair share %.2f Gbps; converged fairness %.3f; unfair window after join %v; loss spike at join: %v\n",
+		r.FairShareBps/1e9, r.ConvergedFairness, r.UnfairWindow, r.JoinLossSpike)
+	return b.String()
+}
+
+// SaveCSV writes every panel to dir.
+func (r *Fig9Result) SaveCSV(dir string) error {
+	save := func(name string, m map[string]*metrics.Series) error {
+		var list []*metrics.Series
+		for _, k := range sortedKeys(m) {
+			list = append(list, m[k])
+		}
+		if len(list) == 0 {
+			return nil
+		}
+		return export.SaveCSV(dir+"/"+name+".csv", list...)
+	}
+	if err := save("fig9_throughput", r.Throughput); err != nil {
+		return err
+	}
+	if err := save("fig9_rtt", r.RTT); err != nil {
+		return err
+	}
+	if err := save("fig9_queue_occupancy", r.QueueOcc); err != nil {
+		return err
+	}
+	if err := save("fig9_loss", r.Loss); err != nil {
+		return err
+	}
+	return export.SaveCSV(dir+"/fig10_aggregates.csv", r.Utilization, r.Fairness, r.ActiveFlows)
+}

@@ -1,0 +1,53 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§5): the per-flow monitoring run (Fig. 9), the
+// control-plane aggregates (Fig. 10), the small-buffer microburst use
+// case (Fig. 11), the sender/receiver/network limitation use case
+// (Fig. 12), the mmWave blockage observation and detector comparison
+// (Figs. 13-14), and the regular-vs-P4 capability comparison
+// (Table 1). Each driver returns structured results plus rendered
+// text, and can run at paper scale (10 Gbps, 50-100 ms RTTs) or at a
+// bandwidth-scaled fast mode that preserves every qualitative shape.
+package experiments
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+)
+
+// Scale selects the bandwidth regime an experiment runs at. RTTs stay
+// at the paper's values in both modes — the time constants of TCP
+// dynamics (convergence, recovery) depend on RTT, so only rates are
+// divided.
+type Scale struct {
+	// Name labels outputs ("paper", "fast").
+	Name string
+	// Factor divides every bandwidth: 1 reproduces the testbed's
+	// 10 Gbps; 20 runs at 500 Mbps for quick iteration.
+	Factor float64
+	// MSS is the segment payload: jumbo frames at paper scale
+	// (Science DMZ practice), standard frames at fast scale.
+	MSS int
+}
+
+// Paper is the full-scale configuration of §5.1.
+func Paper() Scale { return Scale{Name: "paper", Factor: 1, MSS: 8960} }
+
+// Fast divides rates by 20 (10 Gbps → 500 Mbps), preserving shapes
+// while running quickly.
+func Fast() Scale { return Scale{Name: "fast", Factor: 20, MSS: 1448} }
+
+// Bottleneck returns the inter-switch link rate at this scale.
+func (s Scale) Bottleneck() float64 { return netsim.Gbps(10) / s.Factor }
+
+// Rate scales an absolute paper-scale rate (e.g. the 500 Mbps pacing
+// of Fig. 12) into this regime.
+func (s Scale) Rate(paperBps float64) float64 { return paperBps / s.Factor }
+
+// RTTs are the paper's path RTTs, identical at every scale.
+func RTTs() [3]simtime.Time {
+	return [3]simtime.Time{
+		50 * simtime.Millisecond,
+		75 * simtime.Millisecond,
+		100 * simtime.Millisecond,
+	}
+}

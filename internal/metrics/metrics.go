@@ -1,0 +1,160 @@
+// Package metrics provides the small numerical toolbox the control
+// plane and the experiment harness share: time series containers and
+// the aggregate statistics the paper's §5.3 derives in the switch
+// control plane (Jain's fairness index, link utilisation).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// Point is one timestamped sample.
+type Point struct {
+	T simtime.Time
+	V float64
+}
+
+// Series is an append-only time series, the unit every figure in the
+// paper plots.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// NewSeries creates an empty named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Append adds a sample; timestamps must be non-decreasing.
+func (s *Series) Append(t simtime.Time, v float64) {
+	if n := len(s.Points); n > 0 && s.Points[n-1].T > t {
+		panic(fmt.Sprintf("metrics: series %s: timestamp %v before %v", s.Name, t, s.Points[n-1].T))
+	}
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Last returns the most recent sample, or a zero Point if empty.
+func (s *Series) Last() Point {
+	if len(s.Points) == 0 {
+		return Point{}
+	}
+	return s.Points[len(s.Points)-1]
+}
+
+// Between returns the samples with T in [from, to).
+func (s *Series) Between(from, to simtime.Time) []Point {
+	lo := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T >= from })
+	hi := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T >= to })
+	return s.Points[lo:hi]
+}
+
+// Values extracts the sample values.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Max returns the maximum value, or 0 for an empty series.
+func (s *Series) Max() float64 {
+	m := 0.0
+	for i, p := range s.Points {
+		if i == 0 || p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Min returns the minimum value, or 0 for an empty series.
+func (s *Series) Min() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	m := s.Points[0].V
+	for _, p := range s.Points {
+		if p.V < m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.Points {
+		sum += p.V
+	}
+	return sum / float64(len(s.Points))
+}
+
+// JainFairness computes Jain's fairness index over per-flow resource
+// allocations (Eq. 1 of the paper):
+//
+//	F = (Σ x_i)^2 / (N · Σ x_i^2)
+//
+// The result is 1 for perfectly equal allocations and approaches 1/N as
+// one flow monopolises the resource. Zero-only inputs return 0.
+func JainFairness(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, v := range x {
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(x)) * sumSq)
+}
+
+// Utilization is the aggregate throughput over capacity, clamped to
+// [0, 1].
+func Utilization(throughputBps []float64, capacityBps float64) float64 {
+	if capacityBps <= 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range throughputBps {
+		sum += v
+	}
+	u := sum / capacityBps
+	return math.Min(math.Max(u, 0), 1)
+}
+
+// Percentile returns the p-th percentile (0-100) using linear
+// interpolation; the input is not modified.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

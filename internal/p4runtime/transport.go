@@ -1,0 +1,99 @@
+package p4runtime
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Serve accepts runtime connections on ln until the listener closes.
+// Each connection carries a stream of JSON-encoded Requests, answered
+// in order with JSON-encoded Responses — one object per line.
+func Serve(ln net.Listener, s *Server) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go serveConn(conn, s)
+	}
+}
+
+func serveConn(conn net.Conn, s *Server) {
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		if err := enc.Encode(s.Handle(req)); err != nil {
+			return
+		}
+	}
+}
+
+// Client talks to a remote runtime server over one TCP connection.
+type Client struct {
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+// Dial connects to a runtime server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("p4runtime: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn: conn,
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		enc:  json.NewEncoder(conn),
+	}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do executes one operation.
+func (c *Client) Do(req Request) (Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("p4runtime: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("p4runtime: recv: %w", err)
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("p4runtime: server error: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// RegisterRead reads one register cell by P4 instance name.
+func (c *Client) RegisterRead(register string, index uint32) (uint64, error) {
+	resp, err := c.Do(Request{Op: OpRegisterRead, Register: register, Index: index})
+	return resp.Value, err
+}
+
+// FlowRead reads a flow snapshot by its digest IDs.
+func (c *Client) FlowRead(flowID, revID uint32) (*FlowReply, error) {
+	resp, err := c.Do(Request{Op: OpFlowRead, FlowID: flowID, RevID: revID})
+	return resp.Flow, err
+}
+
+// TableSkip programs a skip entry in the monitor table.
+func (c *Client) TableSkip(prefix string) error {
+	_, err := c.Do(Request{Op: OpTableSkip, Prefix: prefix})
+	return err
+}
+
+// ListRegisters enumerates the pipeline's register instances.
+func (c *Client) ListRegisters() ([]string, error) {
+	resp, err := c.Do(Request{Op: OpListRegisters})
+	return resp.Registers, err
+}

@@ -1,0 +1,230 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func ft() FiveTuple {
+	return FiveTuple{
+		SrcIP:   MustAddr("10.0.0.1"),
+		DstIP:   MustAddr("192.168.1.9"),
+		SrcPort: 40001,
+		DstPort: 5201,
+		Proto:   ProtoTCP,
+	}
+}
+
+func TestFiveTupleReverse(t *testing.T) {
+	f := ft()
+	r := f.Reverse()
+	if r.SrcIP != f.DstIP || r.DstIP != f.SrcIP {
+		t.Fatal("IPs not swapped")
+	}
+	if r.SrcPort != f.DstPort || r.DstPort != f.SrcPort {
+		t.Fatal("ports not swapped")
+	}
+	if r.Proto != f.Proto {
+		t.Fatal("protocol must be preserved")
+	}
+	if r.Reverse() != f {
+		t.Fatal("double reverse must be identity")
+	}
+}
+
+func TestNewTCPLengths(t *testing.T) {
+	p := NewTCP(ft(), 100, 0, FlagACK|FlagPSH, 1448)
+	if int(p.TotalLen) != IPv4HeaderLen+TCPHeaderLen+1448 {
+		t.Fatalf("TotalLen=%d", p.TotalLen)
+	}
+	if p.WireLen() != EthernetHeaderLen+int(p.TotalLen) {
+		t.Fatalf("WireLen=%d", p.WireLen())
+	}
+	if !p.CarriesData() || p.IsACKOnly() {
+		t.Fatal("data packet misclassified")
+	}
+}
+
+func TestNewUDPLengths(t *testing.T) {
+	f := ft()
+	f.Proto = ProtoUDP
+	p := NewUDP(f, 512)
+	if int(p.TotalLen) != IPv4HeaderLen+UDPHeaderLen+512 {
+		t.Fatalf("TotalLen=%d", p.TotalLen)
+	}
+}
+
+func TestACKClassification(t *testing.T) {
+	ack := NewTCP(ft().Reverse(), 1, 1449, FlagACK, 0)
+	if !ack.IsACKOnly() || ack.CarriesData() {
+		t.Fatal("pure ACK misclassified")
+	}
+}
+
+func TestExpectedAck(t *testing.T) {
+	p := NewTCP(ft(), 1000, 0, FlagACK, 500)
+	// eACK = seq + payload, computed from the header length fields
+	// exactly as in Algorithm 1.
+	if got := p.ExpectedAck(); got != 1500 {
+		t.Fatalf("ExpectedAck=%d, want 1500", got)
+	}
+}
+
+func TestExpectedAckSYNConsumesSequence(t *testing.T) {
+	p := NewTCP(ft(), 0, 0, FlagSYN, 0)
+	if got := p.ExpectedAck(); got != 1 {
+		t.Fatalf("SYN ExpectedAck=%d, want 1", got)
+	}
+	f := NewTCP(ft(), 999, 0, FlagFIN|FlagACK, 0)
+	if got := f.ExpectedAck(); got != 1000 {
+		t.Fatalf("FIN ExpectedAck=%d, want 1000", got)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	p := NewTCP(ft(), 7, 8, FlagACK, 100)
+	q := p.Clone()
+	q.SeqExt = 999
+	q.Flags = 0
+	if p.SeqExt != 7 || p.Flags != FlagACK {
+		t.Fatal("mutating the clone changed the original")
+	}
+}
+
+func TestMarshalParseRoundTripTCP(t *testing.T) {
+	p := NewTCP(ft(), 0x11223344, 0x55667788, FlagACK|FlagPSH, 777)
+	p.Window = 4321
+	p.TTL = 17
+	buf := p.Marshal()
+	if len(buf) != p.WireLen() {
+		t.Fatalf("marshal length %d, want %d", len(buf), p.WireLen())
+	}
+	q, err := Parse(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.FiveTuple() != p.FiveTuple() {
+		t.Fatalf("5-tuple mismatch: %v vs %v", q.FiveTuple(), p.FiveTuple())
+	}
+	if q.Seq != 0x11223344 || q.Ack != 0x55667788 {
+		t.Fatalf("seq/ack mismatch: %x %x", q.Seq, q.Ack)
+	}
+	if q.Flags != p.Flags || q.Window != p.Window || q.TTL != p.TTL {
+		t.Fatal("flag/window/ttl mismatch")
+	}
+	if q.PayloadLen != 777 {
+		t.Fatalf("payload length %d", q.PayloadLen)
+	}
+}
+
+func TestMarshalParseRoundTripUDP(t *testing.T) {
+	f := ft()
+	f.Proto = ProtoUDP
+	p := NewUDP(f, 256)
+	q, err := Parse(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.FiveTuple() != f {
+		t.Fatalf("5-tuple mismatch: %v", q.FiveTuple())
+	}
+	if q.PayloadLen != 256 {
+		t.Fatalf("payload %d", q.PayloadLen)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		make([]byte, 10),
+		make([]byte, 60), // zeroed: EtherType 0 invalid
+	}
+	for i, buf := range cases {
+		if _, err := Parse(buf); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestParseRejectsTruncatedTCP(t *testing.T) {
+	p := NewTCP(ft(), 1, 2, FlagACK, 0)
+	buf := p.Marshal()
+	if _, err := Parse(buf[:EthernetHeaderLen+IPv4HeaderLen+4]); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestIPChecksumValid(t *testing.T) {
+	p := NewTCP(ft(), 1, 2, FlagACK, 100)
+	buf := p.Marshal()
+	ip := buf[EthernetHeaderLen : EthernetHeaderLen+IPv4HeaderLen]
+	// Recomputing the checksum including the stored checksum field must
+	// yield the one's-complement identity: sum of all 16-bit words
+	// (including checksum) folds to 0xffff.
+	var sum uint32
+	for i := 0; i+1 < len(ip); i += 2 {
+		sum += uint32(ip[i])<<8 | uint32(ip[i+1])
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	if sum != 0xffff {
+		t.Fatalf("IPv4 checksum invalid: folded sum %04x", sum)
+	}
+}
+
+func TestMarshalParseQuick(t *testing.T) {
+	f := func(seq, ack uint32, flags uint8, payload uint16, win uint16) bool {
+		pl := int(payload % 8000)
+		p := NewTCP(ft(), uint64(seq), uint64(ack), flags|FlagACK, pl)
+		p.Window = win
+		q, err := Parse(p.Marshal())
+		if err != nil {
+			return false
+		}
+		return q.Seq == seq && q.Ack == ack && q.PayloadLen == pl && q.Window == win
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeqExtTruncationOnWire(t *testing.T) {
+	// 64-bit extended sequence numbers must truncate to 32 bits on the
+	// wire (see DESIGN.md substitution table).
+	p := NewTCP(ft(), 1<<40|0xdeadbeef, 0, FlagACK, 10)
+	q, err := Parse(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Seq != 0xdeadbeef {
+		t.Fatalf("wire seq %x", q.Seq)
+	}
+}
+
+func TestProtoString(t *testing.T) {
+	if ProtoTCP.String() != "tcp" || ProtoUDP.String() != "udp" {
+		t.Fatal("proto strings wrong")
+	}
+	if Proto(99).String() != "proto(99)" {
+		t.Fatal("unknown proto string wrong")
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	p := NewTCP(ft(), 1, 2, FlagACK, 1448)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Marshal()
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	buf := NewTCP(ft(), 1, 2, FlagACK, 1448).Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// Marshal serialises the packet to real wire bytes: Ethernet + IPv4 +
+// TCP/UDP headers followed by PayloadLen zero bytes. The P4 parser tests
+// parse these bytes back, mirroring how the hardware parser consumes a
+// byte stream.
+func (p *Packet) Marshal() []byte {
+	buf := make([]byte, p.WireLen())
+	copy(buf[0:6], p.DstMAC[:])
+	copy(buf[6:12], p.SrcMAC[:])
+	binary.BigEndian.PutUint16(buf[12:14], 0x0800) // EtherType IPv4
+
+	ip := buf[EthernetHeaderLen:]
+	ip[0] = 0x40 | (p.IHL & 0x0f) // version 4 + IHL
+	binary.BigEndian.PutUint16(ip[2:4], p.TotalLen)
+	binary.BigEndian.PutUint16(ip[4:6], p.IPID)
+	ip[8] = p.TTL
+	ip[9] = uint8(p.Proto)
+	src := p.SrcIP.As4()
+	dst := p.DstIP.As4()
+	copy(ip[12:16], src[:])
+	copy(ip[16:20], dst[:])
+	binary.BigEndian.PutUint16(ip[10:12], ipChecksum(ip[:4*int(p.IHL)]))
+
+	tp := ip[4*int(p.IHL):]
+	switch p.Proto {
+	case ProtoTCP:
+		binary.BigEndian.PutUint16(tp[0:2], p.SrcPort)
+		binary.BigEndian.PutUint16(tp[2:4], p.DstPort)
+		binary.BigEndian.PutUint32(tp[4:8], uint32(p.SeqExt))
+		binary.BigEndian.PutUint32(tp[8:12], uint32(p.AckExt))
+		tp[12] = (p.DataOffset & 0x0f) << 4
+		tp[13] = p.Flags
+		binary.BigEndian.PutUint16(tp[14:16], p.Window)
+	case ProtoUDP:
+		binary.BigEndian.PutUint16(tp[0:2], p.SrcPort)
+		binary.BigEndian.PutUint16(tp[2:4], p.DstPort)
+		binary.BigEndian.PutUint16(tp[4:6], uint16(UDPHeaderLen+p.PayloadLen))
+	}
+	return buf
+}
+
+// Parse reconstructs a Packet from wire bytes produced by Marshal (or
+// any well-formed Ethernet/IPv4/TCP|UDP frame). It performs the same
+// work as the P4 programmable parser: extract Ethernet, then IPv4, then
+// the transport header selected by the IPv4 protocol field.
+func Parse(buf []byte) (*Packet, error) {
+	if len(buf) < EthernetHeaderLen+IPv4HeaderLen {
+		return nil, fmt.Errorf("packet: frame too short (%d bytes)", len(buf))
+	}
+	if et := binary.BigEndian.Uint16(buf[12:14]); et != 0x0800 {
+		return nil, fmt.Errorf("packet: unsupported EtherType 0x%04x", et)
+	}
+	p := &Packet{}
+	copy(p.DstMAC[:], buf[0:6])
+	copy(p.SrcMAC[:], buf[6:12])
+
+	ip := buf[EthernetHeaderLen:]
+	if ip[0]>>4 != 4 {
+		return nil, fmt.Errorf("packet: not IPv4 (version %d)", ip[0]>>4)
+	}
+	p.IHL = ip[0] & 0x0f
+	if int(p.IHL) < 5 || len(ip) < 4*int(p.IHL) {
+		return nil, fmt.Errorf("packet: bad IHL %d", p.IHL)
+	}
+	p.TotalLen = binary.BigEndian.Uint16(ip[2:4])
+	p.IPID = binary.BigEndian.Uint16(ip[4:6])
+	p.TTL = ip[8]
+	p.Proto = Proto(ip[9])
+	p.SrcIP = netip.AddrFrom4([4]byte(ip[12:16]))
+	p.DstIP = netip.AddrFrom4([4]byte(ip[16:20]))
+
+	tp := ip[4*int(p.IHL):]
+	switch p.Proto {
+	case ProtoTCP:
+		if len(tp) < TCPHeaderLen {
+			return nil, fmt.Errorf("packet: truncated TCP header")
+		}
+		p.SrcPort = binary.BigEndian.Uint16(tp[0:2])
+		p.DstPort = binary.BigEndian.Uint16(tp[2:4])
+		p.Seq = binary.BigEndian.Uint32(tp[4:8])
+		p.Ack = binary.BigEndian.Uint32(tp[8:12])
+		p.SeqExt = uint64(p.Seq)
+		p.AckExt = uint64(p.Ack)
+		p.DataOffset = tp[12] >> 4
+		p.Flags = tp[13]
+		p.Window = binary.BigEndian.Uint16(tp[14:16])
+		p.PayloadLen = int(p.TotalLen) - 4*int(p.IHL) - 4*int(p.DataOffset)
+	case ProtoUDP:
+		if len(tp) < UDPHeaderLen {
+			return nil, fmt.Errorf("packet: truncated UDP header")
+		}
+		p.SrcPort = binary.BigEndian.Uint16(tp[0:2])
+		p.DstPort = binary.BigEndian.Uint16(tp[2:4])
+		p.PayloadLen = int(binary.BigEndian.Uint16(tp[4:6])) - UDPHeaderLen
+	default:
+		return nil, fmt.Errorf("packet: unsupported protocol %d", p.Proto)
+	}
+	if p.PayloadLen < 0 {
+		return nil, fmt.Errorf("packet: inconsistent lengths")
+	}
+	return p, nil
+}
+
+// ipChecksum computes the standard IPv4 header checksum over hdr with
+// the checksum field zeroed.
+func ipChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 { // checksum field itself
+			continue
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// MustAddr parses a dotted-quad address, panicking on malformed input.
+// Topology builders use it for literal addresses.
+func MustAddr(s string) netip.Addr {
+	a, err := netip.ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

@@ -1,0 +1,212 @@
+package psarchiver
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/controlplane"
+)
+
+// Filter transforms a document in the Logstash pipeline; returning
+// false drops the event.
+type Filter func(Document) bool
+
+// Output ships a processed document, like Logstash's output plugins.
+type Output func(index string, doc Document)
+
+// Pipeline is the Logstash stand-in of Figure 7: events enter from an
+// input plugin, pass the filter chain, and exit through the output.
+// IndexFor routes each document to an OpenSearch index by its report
+// kind, the way perfSONAR's Logstash configuration routes test results.
+type Pipeline struct {
+	mu      sync.Mutex
+	filters []Filter
+	outputs []Output
+
+	// IndexPrefix namespaces the destination indices; documents land in
+	// "<prefix>-<kind>". Default "p4-psonar".
+	IndexPrefix string
+
+	// Stats
+	Received uint64
+	Dropped  uint64
+	Shipped  uint64
+}
+
+// NewPipeline builds a pipeline with the standard metadata filter
+// installed (the "adds the metadata required by the OpenSearch
+// database" step of Figure 7).
+func NewPipeline() *Pipeline {
+	p := &Pipeline{IndexPrefix: "p4-psonar"}
+	p.AddFilter(AddMetadata)
+	return p
+}
+
+// AddFilter appends a filter to the chain.
+func (p *Pipeline) AddFilter(f Filter) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.filters = append(p.filters, f)
+}
+
+// AddOutput appends an output plugin.
+func (p *Pipeline) AddOutput(o Output) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.outputs = append(p.outputs, o)
+}
+
+// OpenSearchOutput wires the pipeline's output plugin to a Store.
+func (p *Pipeline) OpenSearchOutput(store *Store) {
+	p.AddOutput(func(index string, doc Document) {
+		store.Index(index, doc)
+	})
+}
+
+// AddMetadata is the default filter: it stamps the document with the
+// fields the OpenSearch output needs, producing Report_v2.
+func AddMetadata(doc Document) bool {
+	if _, ok := doc["time_ns"]; ok {
+		doc["@timestamp_ns"] = doc["time_ns"]
+	}
+	doc["@version"] = "1"
+	doc["host"] = "p4-switch-cp"
+	doc["pipeline"] = "p4-psonar"
+	return true
+}
+
+// Process pushes one document through filters and outputs.
+func (p *Pipeline) Process(doc Document) {
+	p.mu.Lock()
+	filters := p.filters
+	outputs := p.outputs
+	prefix := p.IndexPrefix
+	p.Received++
+	p.mu.Unlock()
+
+	for _, f := range filters {
+		if !f(doc) {
+			p.mu.Lock()
+			p.Dropped++
+			p.mu.Unlock()
+			return
+		}
+	}
+	kind := doc.Str("kind")
+	if kind == "" {
+		kind = "unknown"
+	}
+	index := fmt.Sprintf("%s-%s", prefix, kind)
+	for _, o := range outputs {
+		o(index, doc)
+	}
+	p.mu.Lock()
+	p.Shipped++
+	p.mu.Unlock()
+}
+
+// Emit implements controlplane.Sink, the in-simulation input plugin:
+// the control plane hands Report_v1 records straight to the pipeline.
+func (p *Pipeline) Emit(r controlplane.Report) {
+	doc, err := reportToDoc(r)
+	if err != nil {
+		p.mu.Lock()
+		p.Dropped++
+		p.mu.Unlock()
+		return
+	}
+	p.Process(doc)
+}
+
+func reportToDoc(r controlplane.Report) (Document, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// TCPInput is the Logstash TCP input plugin [12 in the paper]: it
+// accepts connections carrying newline-delimited JSON and feeds each
+// line into the pipeline. Used by the live collector daemon.
+type TCPInput struct {
+	pipeline *Pipeline
+	ln       net.Listener
+	wg       sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	// Errors counts undecodable lines.
+	Errors uint64
+}
+
+// NewTCPInput starts the plugin listening on addr (e.g.
+// "127.0.0.1:0"). Close must be called to release the socket.
+func NewTCPInput(pipeline *Pipeline, addr string) (*TCPInput, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("psarchiver: tcp input: %w", err)
+	}
+	in := &TCPInput{pipeline: pipeline, ln: ln}
+	in.wg.Add(1)
+	go in.acceptLoop()
+	return in, nil
+}
+
+// Addr returns the bound address.
+func (in *TCPInput) Addr() string { return in.ln.Addr().String() }
+
+func (in *TCPInput) acceptLoop() {
+	defer in.wg.Done()
+	for {
+		conn, err := in.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		in.wg.Add(1)
+		go in.serve(conn)
+	}
+}
+
+func (in *TCPInput) serve(conn net.Conn) {
+	defer in.wg.Done()
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var doc Document
+		if err := json.Unmarshal(line, &doc); err != nil {
+			in.mu.Lock()
+			in.Errors++
+			in.mu.Unlock()
+			continue
+		}
+		in.pipeline.Process(doc)
+	}
+}
+
+// Close stops accepting and waits for in-flight connections to finish.
+func (in *TCPInput) Close() error {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return nil
+	}
+	in.closed = true
+	in.mu.Unlock()
+	err := in.ln.Close()
+	in.wg.Wait()
+	return err
+}

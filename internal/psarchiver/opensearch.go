@@ -1,0 +1,164 @@
+// Package psarchiver models the perfSONAR archiver of Figure 7: a
+// Logstash data-processing pipeline (input plugins → filters → output
+// plugin) in front of an OpenSearch document store. The control plane's
+// Report_v1 records enter through the TCP input plugin (or directly,
+// in-simulation), gain the OpenSearch metadata Logstash adds
+// (Report_v2), and land in the store, where dashboards and experiments
+// query them.
+package psarchiver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Document is one stored record: the Report_v2 of Figure 7, i.e. the
+// report fields plus Logstash-added metadata.
+type Document map[string]interface{}
+
+// Float reads a numeric field, tolerating the float64/int64 variants
+// JSON decoding produces.
+func (d Document) Float(key string) (float64, bool) {
+	switch v := d[key].(type) {
+	case float64:
+		return v, true
+	case int64:
+		return float64(v), true
+	case int:
+		return float64(v), true
+	case uint64:
+		return float64(v), true
+	}
+	return 0, false
+}
+
+// Str reads a string field.
+func (d Document) Str(key string) string {
+	if s, ok := d[key].(string); ok {
+		return s
+	}
+	return ""
+}
+
+// Query selects documents from an index.
+type Query struct {
+	// Index to search. Required.
+	Index string
+	// Term equality constraints (string fields).
+	Terms map[string]string
+	// TimeField with FromNs/ToNs bounds the numeric time field
+	// [FromNs, ToNs); zero values disable the bound.
+	TimeField string
+	FromNs    int64
+	ToNs      int64
+}
+
+// Store is the OpenSearch stand-in: named indices of documents with
+// the small query surface the experiments and dashboards need. It is
+// safe for concurrent use (the live collector writes from a goroutine).
+type Store struct {
+	mu      sync.RWMutex
+	indices map[string][]Document
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{indices: make(map[string][]Document)}
+}
+
+// Index appends a document to an index, creating it on first use.
+func (s *Store) Index(index string, doc Document) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.indices[index] = append(s.indices[index], doc)
+}
+
+// Count returns the number of documents in an index.
+func (s *Store) Count(index string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.indices[index])
+}
+
+// Indices lists the index names, sorted.
+func (s *Store) Indices() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.indices))
+	for name := range s.indices {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Search returns the documents matching the query, in insertion order.
+func (s *Store) Search(q Query) []Document {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Document
+	for _, doc := range s.indices[q.Index] {
+		if !matches(doc, q) {
+			continue
+		}
+		out = append(out, doc)
+	}
+	return out
+}
+
+func matches(doc Document, q Query) bool {
+	for k, v := range q.Terms {
+		if doc.Str(k) != v {
+			return false
+		}
+	}
+	if q.TimeField != "" {
+		t, ok := doc.Float(q.TimeField)
+		if !ok {
+			return false
+		}
+		if q.FromNs != 0 && t < float64(q.FromNs) {
+			return false
+		}
+		if q.ToNs != 0 && t >= float64(q.ToNs) {
+			return false
+		}
+	}
+	return true
+}
+
+// AggStats summarises a numeric field over a query result.
+type AggStats struct {
+	Count int
+	Min   float64
+	Max   float64
+	Mean  float64
+	Sum   float64
+}
+
+// Aggregate computes min/max/mean/sum of field over the matching
+// documents, mirroring the aggregations the perfSONAR dashboard issues.
+func (s *Store) Aggregate(q Query, field string) (AggStats, error) {
+	docs := s.Search(q)
+	var st AggStats
+	for _, d := range docs {
+		v, ok := d.Float(field)
+		if !ok {
+			continue
+		}
+		if st.Count == 0 || v < st.Min {
+			st.Min = v
+		}
+		if st.Count == 0 || v > st.Max {
+			st.Max = v
+		}
+		st.Sum += v
+		st.Count++
+	}
+	if st.Count == 0 {
+		return st, fmt.Errorf("psarchiver: no numeric %q values in %s", field, q.Index)
+	}
+	st.Mean = st.Sum / float64(st.Count)
+	return st, nil
+}

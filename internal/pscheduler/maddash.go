@@ -1,0 +1,134 @@
+package pscheduler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/simtime"
+)
+
+// This file provides the MaDDash stand-in: perfSONAR deployments
+// visualise their measurement mesh as a grid of source/destination
+// cells coloured by how the latest results compare against thresholds.
+// The grid consumes the scheduler's local result history.
+
+// CellStatus grades one mesh cell.
+type CellStatus int
+
+// Cell grades, from healthy to failed, mirroring MaDDash's
+// OK/WARNING/CRITICAL colour scheme.
+const (
+	StatusUnknown CellStatus = iota
+	StatusOK
+	StatusWarning
+	StatusCritical
+)
+
+func (s CellStatus) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusWarning:
+		return "WARN"
+	case StatusCritical:
+		return "CRIT"
+	default:
+		return "-"
+	}
+}
+
+// DashboardConfig sets the grading thresholds.
+type DashboardConfig struct {
+	// ThroughputWarnBps and ThroughputCritBps grade throughput cells:
+	// below warn is a warning, below crit is critical.
+	ThroughputWarnBps float64
+	ThroughputCritBps float64
+	// LossWarn and LossCrit grade latency cells by probe loss fraction.
+	LossWarn float64
+	LossCrit float64
+}
+
+// Cell is one graded mesh entry.
+type Cell struct {
+	Src, Dst string
+	Status   CellStatus
+	Detail   string
+	At       simtime.Time
+}
+
+// Dashboard builds the measurement-mesh grid from the scheduler's
+// most recent results.
+func (s *Scheduler) Dashboard(cfg DashboardConfig) []Cell {
+	latestT := map[[2]string]ThroughputResult{}
+	for _, r := range s.Throughput {
+		key := [2]string{r.Src, r.Dst}
+		if cur, ok := latestT[key]; !ok || r.StartedAt > cur.StartedAt {
+			latestT[key] = r
+		}
+	}
+	latestL := map[[2]string]LatencyResult{}
+	for _, r := range s.Latency {
+		key := [2]string{r.Src, r.Dst}
+		if cur, ok := latestL[key]; !ok || r.StartedAt > cur.StartedAt {
+			latestL[key] = r
+		}
+	}
+
+	var cells []Cell
+	for key, r := range latestT {
+		st := StatusOK
+		switch {
+		case cfg.ThroughputCritBps > 0 && r.AvgBps < cfg.ThroughputCritBps:
+			st = StatusCritical
+		case cfg.ThroughputWarnBps > 0 && r.AvgBps < cfg.ThroughputWarnBps:
+			st = StatusWarning
+		}
+		cells = append(cells, Cell{
+			Src: key[0], Dst: key[1], Status: st,
+			Detail: fmt.Sprintf("%.1f Mbps", r.AvgBps/1e6),
+			At:     r.StartedAt,
+		})
+	}
+	for key, r := range latestL {
+		st := StatusOK
+		lossFrac := 0.0
+		if r.Sent > 0 {
+			lossFrac = float64(r.Sent-r.Received) / float64(r.Sent)
+		}
+		switch {
+		case cfg.LossCrit > 0 && lossFrac >= cfg.LossCrit:
+			st = StatusCritical
+		case cfg.LossWarn > 0 && lossFrac >= cfg.LossWarn:
+			st = StatusWarning
+		}
+		cells = append(cells, Cell{
+			Src: key[0], Dst: key[1], Status: st,
+			Detail: fmt.Sprintf("%.1fms %.0f%%loss", r.MeanRTT.Millis(), lossFrac*100),
+			At:     r.StartedAt,
+		})
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Src != cells[j].Src {
+			return cells[i].Src < cells[j].Src
+		}
+		if cells[i].Dst != cells[j].Dst {
+			return cells[i].Dst < cells[j].Dst
+		}
+		return cells[i].Detail < cells[j].Detail
+	})
+	return cells
+}
+
+// RenderDashboard draws the grid as text.
+func RenderDashboard(cells []Cell) string {
+	var b strings.Builder
+	b.WriteString("perfSONAR mesh dashboard\n")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "  [%-4s] %-10s -> %-10s %s\n", c.Status, c.Src, c.Dst, c.Detail)
+	}
+	if len(cells) == 0 {
+		b.WriteString("  (no results yet)\n")
+	}
+	return b.String()
+}

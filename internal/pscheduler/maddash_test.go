@@ -1,0 +1,90 @@
+package pscheduler_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pscheduler"
+	"repro/internal/simtime"
+	"repro/internal/tcp"
+)
+
+func TestDashboardGradesThroughput(t *testing.T) {
+	sys := scaledSystem()
+	sys.Scheduler.ScheduleThroughput(sys.LocalPerfNode, sys.ExternalPerf[0],
+		simtime.Second, 60*simtime.Second, 3*simtime.Second, tcp.Config{MSS: 1448})
+	sys.Run(10 * simtime.Second)
+
+	// With a generous warn threshold the cell is OK.
+	cells := sys.Scheduler.Dashboard(pscheduler.DashboardConfig{
+		ThroughputWarnBps: 1e6,
+		ThroughputCritBps: 1e5,
+	})
+	if len(cells) != 1 || cells[0].Status != pscheduler.StatusOK {
+		t.Fatalf("cells: %+v", cells)
+	}
+	// With an absurd threshold, the same result grades critical.
+	cells = sys.Scheduler.Dashboard(pscheduler.DashboardConfig{
+		ThroughputWarnBps: 99e9,
+		ThroughputCritBps: 98e9,
+	})
+	if cells[0].Status != pscheduler.StatusCritical {
+		t.Fatalf("cells: %+v", cells)
+	}
+}
+
+func TestDashboardGradesLatencyLoss(t *testing.T) {
+	sys := scaledSystem()
+	sys.ExternalAccessLinks[0].LossRate = 0.5
+	sys.Scheduler.ScheduleLatency(sys.LocalPerfNode, sys.ExternalDTNs[0],
+		simtime.Second, 60*simtime.Second, 20, 50*simtime.Millisecond)
+	sys.Run(10 * simtime.Second)
+
+	cells := sys.Scheduler.Dashboard(pscheduler.DashboardConfig{
+		LossWarn: 0.05,
+		LossCrit: 0.25,
+	})
+	if len(cells) != 1 {
+		t.Fatalf("cells: %+v", cells)
+	}
+	if cells[0].Status != pscheduler.StatusCritical {
+		t.Fatalf("status %v for a 50%%-loss path", cells[0].Status)
+	}
+}
+
+func TestDashboardKeepsLatestResult(t *testing.T) {
+	sys := scaledSystem()
+	sys.Scheduler.ScheduleThroughput(sys.LocalPerfNode, sys.ExternalPerf[1],
+		simtime.Second, 8*simtime.Second, 2*simtime.Second, tcp.Config{MSS: 1448})
+	sys.Run(25 * simtime.Second)
+	if len(sys.Scheduler.Throughput) < 2 {
+		t.Fatalf("want repeated tests, got %d", len(sys.Scheduler.Throughput))
+	}
+	cells := sys.Scheduler.Dashboard(pscheduler.DashboardConfig{})
+	if len(cells) != 1 {
+		t.Fatalf("dashboard must keep one cell per pair: %+v", cells)
+	}
+	last := sys.Scheduler.Throughput[len(sys.Scheduler.Throughput)-1]
+	if cells[0].At != last.StartedAt {
+		t.Fatalf("cell not the latest result: %v vs %v", cells[0].At, last.StartedAt)
+	}
+}
+
+func TestRenderDashboard(t *testing.T) {
+	out := pscheduler.RenderDashboard(nil)
+	if !strings.Contains(out, "no results") {
+		t.Fatalf("empty render: %q", out)
+	}
+	cells := []pscheduler.Cell{{Src: "a", Dst: "b", Status: pscheduler.StatusWarning, Detail: "1.0 Mbps"}}
+	out = pscheduler.RenderDashboard(cells)
+	if !strings.Contains(out, "[WARN]") || !strings.Contains(out, "a") {
+		t.Fatalf("render: %q", out)
+	}
+}
+
+func TestCellStatusString(t *testing.T) {
+	if pscheduler.StatusOK.String() != "OK" || pscheduler.StatusCritical.String() != "CRIT" ||
+		pscheduler.StatusWarning.String() != "WARN" || pscheduler.StatusUnknown.String() != "-" {
+		t.Fatal("status strings wrong")
+	}
+}

@@ -1,0 +1,62 @@
+package pscheduler_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pscheduler"
+	"repro/internal/simtime"
+)
+
+func TestTraceDiscoversPath(t *testing.T) {
+	sys := scaledSystem()
+	sys.Scheduler.ScheduleTrace(sys.InternalDTN, sys.ExternalDTNs[0],
+		simtime.Second, 60*simtime.Second, 6)
+	sys.Run(10 * simtime.Second)
+
+	if len(sys.Scheduler.Traces) != 1 {
+		t.Fatalf("traces: %d", len(sys.Scheduler.Traces))
+	}
+	tr := sys.Scheduler.Traces[0]
+	if !tr.Reached {
+		t.Fatalf("destination not reached: %+v", tr)
+	}
+	// Path: core switch (172.16.0.1), agg switch (192.168.0.1), DTN1.
+	if len(tr.Hops) != 3 {
+		t.Fatalf("hops: %+v", tr.Hops)
+	}
+	if tr.Hops[0].Router != "172.16.0.1" {
+		t.Fatalf("hop1: %+v", tr.Hops[0])
+	}
+	if tr.Hops[1].Router != "192.168.0.1" {
+		t.Fatalf("hop2: %+v", tr.Hops[1])
+	}
+	if tr.Hops[2].Router != sys.ExternalDTNs[0].IP().String() {
+		t.Fatalf("hop3: %+v", tr.Hops[2])
+	}
+	// RTTs must increase with hop depth (more propagation per hop).
+	if !(tr.Hops[0].RTT < tr.Hops[1].RTT && tr.Hops[1].RTT < tr.Hops[2].RTT) {
+		t.Fatalf("hop RTTs not increasing: %+v", tr.Hops)
+	}
+}
+
+func TestTraceArchived(t *testing.T) {
+	sys := scaledSystem()
+	sys.Scheduler.ScheduleTrace(sys.InternalDTN, sys.ExternalDTNs[1],
+		simtime.Second, 60*simtime.Second, 6)
+	sys.Run(10 * simtime.Second)
+	if sys.Store.Count("p4-psonar-pscheduler_trace") != 1 {
+		t.Fatalf("trace not archived: %v", sys.Store.Indices())
+	}
+}
+
+func TestRenderTrace(t *testing.T) {
+	sys := scaledSystem()
+	sys.Scheduler.ScheduleTrace(sys.InternalDTN, sys.ExternalDTNs[0],
+		simtime.Second, 60*simtime.Second, 6)
+	sys.Run(10 * simtime.Second)
+	out := pscheduler.RenderTrace(sys.Scheduler.Traces[0])
+	if !strings.Contains(out, "172.16.0.1") || !strings.Contains(out, "reached: true") {
+		t.Fatalf("render: %q", out)
+	}
+}

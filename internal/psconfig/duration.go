@@ -1,0 +1,78 @@
+package psconfig
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/simtime"
+)
+
+// ParseISODuration parses the ISO-8601 duration subset pSConfig
+// templates use for test intervals: PT<n>H, PT<n>M, PT<n>S and
+// combinations (e.g. "PT1H30M", "PT30S"). Date components (days and
+// larger) support the common "P<n>D" form.
+func ParseISODuration(s string) (simtime.Time, error) {
+	orig := s
+	if !strings.HasPrefix(s, "P") {
+		return 0, fmt.Errorf("psconfig: duration %q must start with P", orig)
+	}
+	s = s[1:]
+
+	var total simtime.Time
+	inTime := false
+	num := ""
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+			num += string(r)
+		case r == 'T':
+			if inTime {
+				return 0, fmt.Errorf("psconfig: duration %q has two T markers", orig)
+			}
+			inTime = true
+		default:
+			if num == "" {
+				return 0, fmt.Errorf("psconfig: duration %q has unit %q without a value", orig, string(r))
+			}
+			n, err := strconv.Atoi(num)
+			if err != nil {
+				return 0, fmt.Errorf("psconfig: duration %q: %v", orig, err)
+			}
+			num = ""
+			var unit simtime.Time
+			switch r {
+			case 'D':
+				if inTime {
+					return 0, fmt.Errorf("psconfig: duration %q: D after T", orig)
+				}
+				unit = 24 * 3600 * simtime.Second
+			case 'H':
+				if !inTime {
+					return 0, fmt.Errorf("psconfig: duration %q: H before T", orig)
+				}
+				unit = 3600 * simtime.Second
+			case 'M':
+				if !inTime {
+					return 0, fmt.Errorf("psconfig: duration %q: M before T (months unsupported)", orig)
+				}
+				unit = 60 * simtime.Second
+			case 'S':
+				if !inTime {
+					return 0, fmt.Errorf("psconfig: duration %q: S before T", orig)
+				}
+				unit = simtime.Second
+			default:
+				return 0, fmt.Errorf("psconfig: duration %q: unknown unit %q", orig, string(r))
+			}
+			total += simtime.Time(n) * unit
+		}
+	}
+	if num != "" {
+		return 0, fmt.Errorf("psconfig: duration %q: trailing number without unit", orig)
+	}
+	if total <= 0 {
+		return 0, fmt.Errorf("psconfig: duration %q is zero", orig)
+	}
+	return total, nil
+}

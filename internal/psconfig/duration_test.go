@@ -1,0 +1,38 @@
+package psconfig
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestParseISODuration(t *testing.T) {
+	cases := map[string]simtime.Time{
+		"PT30S":   30 * simtime.Second,
+		"PT5M":    5 * 60 * simtime.Second,
+		"PT6H":    6 * 3600 * simtime.Second,
+		"PT1H30M": 90 * 60 * simtime.Second,
+		"P1D":     24 * 3600 * simtime.Second,
+		"P1DT12H": 36 * 3600 * simtime.Second,
+	}
+	for in, want := range cases {
+		got, err := ParseISODuration(in)
+		if err != nil {
+			t.Errorf("%s: %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestParseISODurationErrors(t *testing.T) {
+	for _, in := range []string{
+		"", "6H", "PT", "P", "PTS", "PT5X", "PT5", "P5H", "PD", "PT1T1S",
+	} {
+		if _, err := ParseISODuration(in); err == nil {
+			t.Errorf("%q: expected error", in)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package psconfig models the perfSONAR configuration layer the paper
+// extends: the pSConfig template format plus the new `config-P4`
+// command (Figure 6) through which a perfSONAR node configures the
+// programmable switch's control plane at run time — reporting rates
+// per metric and alert thresholds with escalated rates.
+package psconfig
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/controlplane"
+)
+
+// Target is what config-P4 configures: the switch control plane (or a
+// remote proxy speaking to one).
+type Target interface {
+	SetRate(m controlplane.Metric, samplesPerSecond float64) error
+	SetAlert(m controlplane.Metric, threshold, escalatedSamplesPerSecond float64) error
+}
+
+// Command is one parsed `psconfig config-P4 ...` invocation.
+type Command struct {
+	// Metric the configuration applies to; empty applies to all four
+	// metrics ("The configuration will be applied to all metrics if the
+	// administrator does not use the --metric parameter").
+	Metric string
+	// SamplesPerSecond is the reporting rate. Without --alert it is the
+	// base rate; with --alert it is the escalated rate applied once the
+	// threshold trips (Figure 6, line 3).
+	SamplesPerSecond float64
+	// Alert marks an alert-threshold configuration.
+	Alert bool
+	// Threshold is the alerting threshold (--threshold), in the
+	// metric's units.
+	Threshold float64
+
+	hasSamples bool
+}
+
+// ParseConfigP4 parses the argument list following `config-P4`.
+// Supported flags (Figure 6): --metric <name>, --samples_per_second
+// <rate>, --alert, --threshold <value>.
+func ParseConfigP4(args []string) (Command, error) {
+	var cmd Command
+	i := 0
+	next := func(flag string) (string, error) {
+		i++
+		if i >= len(args) {
+			return "", fmt.Errorf("psconfig: %s requires a value", flag)
+		}
+		return args[i], nil
+	}
+	for ; i < len(args); i++ {
+		switch args[i] {
+		case "--metric":
+			v, err := next("--metric")
+			if err != nil {
+				return cmd, err
+			}
+			if !controlplane.ValidMetric(v) {
+				return cmd, fmt.Errorf("psconfig: unknown metric %q (valid: throughput, packet_loss, rtt, queue_occupancy)", v)
+			}
+			cmd.Metric = v
+		case "--samples_per_second":
+			v, err := next("--samples_per_second")
+			if err != nil {
+				return cmd, err
+			}
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f <= 0 {
+				return cmd, fmt.Errorf("psconfig: invalid samples_per_second %q", v)
+			}
+			cmd.SamplesPerSecond = f
+			cmd.hasSamples = true
+		case "--alert":
+			cmd.Alert = true
+		case "--threshold":
+			v, err := next("--threshold")
+			if err != nil {
+				return cmd, err
+			}
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f <= 0 {
+				return cmd, fmt.Errorf("psconfig: invalid threshold %q", v)
+			}
+			cmd.Threshold = f
+		default:
+			return cmd, fmt.Errorf("psconfig: unknown flag %q", args[i])
+		}
+	}
+	if cmd.Alert && cmd.Threshold <= 0 {
+		return cmd, fmt.Errorf("psconfig: --alert requires --threshold")
+	}
+	if !cmd.Alert && !cmd.hasSamples {
+		return cmd, fmt.Errorf("psconfig: nothing to configure (need --samples_per_second and/or --alert --threshold)")
+	}
+	return cmd, nil
+}
+
+// metricsFor expands the command's target metric list.
+func (c Command) metricsFor() []controlplane.Metric {
+	if c.Metric != "" {
+		return []controlplane.Metric{controlplane.Metric(c.Metric)}
+	}
+	return controlplane.AllMetrics()
+}
+
+// Apply pushes the configuration into the target, returning the first
+// error.
+func (c Command) Apply(t Target) error {
+	for _, m := range c.metricsFor() {
+		if c.Alert {
+			if err := t.SetAlert(m, c.Threshold, c.SamplesPerSecond); err != nil {
+				return err
+			}
+		} else if c.hasSamples {
+			if err := t.SetRate(m, c.SamplesPerSecond); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the command back in Figure 6 syntax.
+func (c Command) String() string {
+	s := "psconfig config-P4"
+	if c.Metric != "" {
+		s += " --metric " + c.Metric
+	}
+	if c.Alert {
+		s += fmt.Sprintf(" --alert --threshold %g", c.Threshold)
+	}
+	if c.hasSamples {
+		s += fmt.Sprintf(" --samples_per_second %g", c.SamplesPerSecond)
+	}
+	return s
+}
+
+// Template is a minimal pSConfig template: the JSON document a
+// perfSONAR node consumes to learn its archives and scheduled tasks.
+// The paper's extension adds "p4" task entries whose spec holds
+// config-P4 style parameters.
+type Template struct {
+	Archives map[string]Archive `json:"archives"`
+	Tasks    map[string]Task    `json:"tasks"`
+}
+
+// Archive names a data sink, e.g. the OpenSearch archiver.
+type Archive struct {
+	Archiver string            `json:"archiver"`
+	Data     map[string]string `json:"data,omitempty"`
+}
+
+// Task is one scheduled activity: a classic pScheduler test
+// ("throughput", "latency") or the new "p4" monitoring configuration.
+type Task struct {
+	Type     string            `json:"type"`
+	Interval string            `json:"interval,omitempty"` // e.g. "PT6H" for actives
+	Spec     map[string]string `json:"spec,omitempty"`
+	Archives []string          `json:"archives,omitempty"`
+}
+
+// ParseTemplate decodes a pSConfig JSON template.
+func ParseTemplate(data []byte) (*Template, error) {
+	var t Template
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("psconfig: template: %w", err)
+	}
+	return &t, nil
+}
+
+// P4Commands extracts the config-P4 commands implied by the template's
+// "p4" tasks, in sorted task-name order for determinism.
+func (t *Template) P4Commands() ([]Command, error) {
+	names := make([]string, 0, len(t.Tasks))
+	for name, task := range t.Tasks {
+		if task.Type == "p4" {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var cmds []Command
+	for _, name := range names {
+		task := t.Tasks[name]
+		args := specToArgs(task.Spec)
+		cmd, err := ParseConfigP4(args)
+		if err != nil {
+			return nil, fmt.Errorf("psconfig: task %q: %w", name, err)
+		}
+		cmds = append(cmds, cmd)
+	}
+	return cmds, nil
+}
+
+func specToArgs(spec map[string]string) []string {
+	var args []string
+	if v, ok := spec["metric"]; ok {
+		args = append(args, "--metric", v)
+	}
+	if v, ok := spec["samples_per_second"]; ok {
+		args = append(args, "--samples_per_second", v)
+	}
+	if v, ok := spec["alert"]; ok && v == "true" {
+		args = append(args, "--alert")
+	}
+	if v, ok := spec["threshold"]; ok {
+		args = append(args, "--threshold", v)
+	}
+	return args
+}

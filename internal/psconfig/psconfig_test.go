@@ -1,0 +1,199 @@
+package psconfig
+
+import (
+	"testing"
+
+	"repro/internal/controlplane"
+)
+
+// fakeTarget records configuration calls.
+type fakeTarget struct {
+	rates  map[controlplane.Metric]float64
+	alerts map[controlplane.Metric][2]float64
+}
+
+func newFakeTarget() *fakeTarget {
+	return &fakeTarget{
+		rates:  map[controlplane.Metric]float64{},
+		alerts: map[controlplane.Metric][2]float64{},
+	}
+}
+
+func (f *fakeTarget) SetRate(m controlplane.Metric, s float64) error {
+	f.rates[m] = s
+	return nil
+}
+
+func (f *fakeTarget) SetAlert(m controlplane.Metric, th, esc float64) error {
+	f.alerts[m] = [2]float64{th, esc}
+	return nil
+}
+
+// TestFigure6Line1 parses `config-P4 --metric throughput
+// --samples_per_second 1` — the first command of Figure 6.
+func TestFigure6Line1(t *testing.T) {
+	cmd, err := ParseConfigP4([]string{"--metric", "throughput", "--samples_per_second", "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := newFakeTarget()
+	if err := cmd.Apply(tgt); err != nil {
+		t.Fatal(err)
+	}
+	if tgt.rates[controlplane.MetricThroughput] != 1 {
+		t.Fatalf("rates: %v", tgt.rates)
+	}
+	if len(tgt.rates) != 1 || len(tgt.alerts) != 0 {
+		t.Fatalf("unexpected extra configuration: %v %v", tgt.rates, tgt.alerts)
+	}
+}
+
+// TestFigure6Line2 parses the RTT command of Figure 6.
+func TestFigure6Line2(t *testing.T) {
+	cmd, err := ParseConfigP4([]string{"--metric", "RTT", "--samples_per_second", "2"})
+	if err == nil {
+		_ = cmd
+		t.Fatal("uppercase RTT is not a valid metric name; the CLI uses rtt")
+	}
+	cmd, err = ParseConfigP4([]string{"--metric", "rtt", "--samples_per_second", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := newFakeTarget()
+	cmd.Apply(tgt)
+	if tgt.rates[controlplane.MetricRTT] != 2 {
+		t.Fatalf("rates: %v", tgt.rates)
+	}
+}
+
+// TestFigure6Line3 parses the alert command of Figure 6: queue
+// occupancy alerts at 30% and escalates to 10 samples/second.
+func TestFigure6Line3(t *testing.T) {
+	cmd, err := ParseConfigP4([]string{
+		"--metric", "queue_occupancy", "--alert", "--threshold", "30", "--samples_per_second", "10"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := newFakeTarget()
+	if err := cmd.Apply(tgt); err != nil {
+		t.Fatal(err)
+	}
+	got := tgt.alerts[controlplane.MetricQueueOccupancy]
+	if got[0] != 30 || got[1] != 10 {
+		t.Fatalf("alerts: %v", tgt.alerts)
+	}
+}
+
+func TestNoMetricAppliesToAll(t *testing.T) {
+	cmd, err := ParseConfigP4([]string{"--samples_per_second", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := newFakeTarget()
+	cmd.Apply(tgt)
+	if len(tgt.rates) != 4 {
+		t.Fatalf("rates for %d metrics, want all 4", len(tgt.rates))
+	}
+	for _, m := range controlplane.AllMetrics() {
+		if tgt.rates[m] != 5 {
+			t.Fatalf("metric %s not configured", m)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := [][]string{
+		{},           // nothing to configure
+		{"--metric"}, // missing value
+		{"--metric", "bogus", "--samples_per_second", "1"}, // bad metric
+		{"--samples_per_second", "abc"},                    // bad rate
+		{"--samples_per_second", "-1"},                     // negative rate
+		{"--alert"},                                        // alert without threshold
+		{"--threshold", "xyz", "--alert"},                  // bad threshold
+		{"--unknown", "1"},                                 // unknown flag
+	}
+	for i, args := range cases {
+		if _, err := ParseConfigP4(args); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}
+
+func TestCommandString(t *testing.T) {
+	cmd, _ := ParseConfigP4([]string{"--metric", "queue_occupancy", "--alert", "--threshold", "30", "--samples_per_second", "10"})
+	want := "psconfig config-P4 --metric queue_occupancy --alert --threshold 30 --samples_per_second 10"
+	if cmd.String() != want {
+		t.Fatalf("got %q", cmd.String())
+	}
+}
+
+func TestApplyAgainstRealControlPlane(t *testing.T) {
+	// The Target interface must be satisfied by the actual control
+	// plane; configure it end to end.
+	cp := newRealControlPlane(t)
+	cmd, _ := ParseConfigP4([]string{"--metric", "throughput", "--samples_per_second", "4"})
+	if err := cmd.Apply(cp); err != nil {
+		t.Fatal(err)
+	}
+	if got := cp.MetricConfigFor(controlplane.MetricThroughput).SamplesPerSecond; got != 4 {
+		t.Fatalf("rate=%f", got)
+	}
+	alert, _ := ParseConfigP4([]string{"--metric", "rtt", "--alert", "--threshold", "90", "--samples_per_second", "20"})
+	if err := alert.Apply(cp); err != nil {
+		t.Fatal(err)
+	}
+	mc := cp.MetricConfigFor(controlplane.MetricRTT)
+	if mc.AlertThreshold != 90 || mc.AlertSamplesPerSecond != 20 {
+		t.Fatalf("alert config: %+v", mc)
+	}
+}
+
+func TestTemplateParsingAndP4Commands(t *testing.T) {
+	raw := []byte(`{
+	  "archives": {
+	    "opensearch": {"archiver": "opensearch", "data": {"url": "https://localhost:9200"}}
+	  },
+	  "tasks": {
+	    "p4-throughput": {"type": "p4", "spec": {"metric": "throughput", "samples_per_second": "1"}},
+	    "p4-qocc-alert": {"type": "p4", "spec": {"metric": "queue_occupancy", "alert": "true", "threshold": "30", "samples_per_second": "10"}},
+	    "classic-test": {"type": "throughput", "interval": "PT6H"}
+	  }
+	}`)
+	tpl, err := ParseTemplate(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tpl.Archives) != 1 || tpl.Archives["opensearch"].Archiver != "opensearch" {
+		t.Fatal("archives wrong")
+	}
+	cmds, err := tpl.P4Commands()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != 2 {
+		t.Fatalf("p4 commands: %d", len(cmds))
+	}
+	// Sorted task-name order: p4-qocc-alert before p4-throughput.
+	if !cmds[0].Alert || cmds[0].Metric != "queue_occupancy" {
+		t.Fatalf("first command: %+v", cmds[0])
+	}
+	if cmds[1].Metric != "throughput" || cmds[1].SamplesPerSecond != 1 {
+		t.Fatalf("second command: %+v", cmds[1])
+	}
+}
+
+func TestTemplateBadJSON(t *testing.T) {
+	if _, err := ParseTemplate([]byte("{nope")); err == nil {
+		t.Fatal("bad JSON must error")
+	}
+}
+
+func TestTemplateBadP4Spec(t *testing.T) {
+	tpl, err := ParseTemplate([]byte(`{"tasks": {"bad": {"type": "p4", "spec": {"metric": "bogus"}}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tpl.P4Commands(); err == nil {
+		t.Fatal("bad p4 spec must error")
+	}
+}

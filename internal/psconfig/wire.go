@@ -1,0 +1,101 @@
+package psconfig
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// WireCommand is the JSON encoding of a config-P4 command sent from
+// the psconfig CLI to a running collector (the switch's control-plane
+// agent).
+type WireCommand struct {
+	Metric           string  `json:"metric,omitempty"`
+	SamplesPerSecond float64 `json:"samples_per_second,omitempty"`
+	Alert            bool    `json:"alert,omitempty"`
+	Threshold        float64 `json:"threshold,omitempty"`
+}
+
+// WireResponse acknowledges a WireCommand.
+type WireResponse struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
+// ToWire converts a parsed command for transmission.
+func (c Command) ToWire() WireCommand {
+	w := WireCommand{Metric: c.Metric, Alert: c.Alert, Threshold: c.Threshold}
+	if c.hasSamples {
+		w.SamplesPerSecond = c.SamplesPerSecond
+	}
+	return w
+}
+
+// FromWire reconstructs a Command, re-validating every field.
+func FromWire(w WireCommand) (Command, error) {
+	var args []string
+	if w.Metric != "" {
+		args = append(args, "--metric", w.Metric)
+	}
+	if w.SamplesPerSecond > 0 {
+		args = append(args, "--samples_per_second", fmt.Sprintf("%g", w.SamplesPerSecond))
+	}
+	if w.Alert {
+		args = append(args, "--alert")
+	}
+	if w.Threshold > 0 {
+		args = append(args, "--threshold", fmt.Sprintf("%g", w.Threshold))
+	}
+	return ParseConfigP4(args)
+}
+
+// Send transmits the command to a collector at addr and waits for the
+// acknowledgment.
+func (c Command) Send(addr string, timeout time.Duration) error {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return fmt.Errorf("psconfig: connecting to collector: %w", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(c.ToWire()); err != nil {
+		return fmt.Errorf("psconfig: sending command: %w", err)
+	}
+	var resp WireResponse
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+		return fmt.Errorf("psconfig: reading response: %w", err)
+	}
+	if !resp.OK {
+		return fmt.Errorf("psconfig: collector rejected command: %s", resp.Error)
+	}
+	return nil
+}
+
+// ServeConfig accepts config-P4 commands on ln and applies them to
+// target until the listener closes. Each connection carries one
+// JSON-encoded WireCommand and receives one WireResponse.
+func ServeConfig(ln net.Listener, target Target) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(conn net.Conn) {
+			defer conn.Close()
+			var w WireCommand
+			resp := WireResponse{OK: true}
+			if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&w); err != nil {
+				resp = WireResponse{Error: err.Error()}
+			} else if cmd, err := FromWire(w); err != nil {
+				resp = WireResponse{Error: err.Error()}
+			} else if err := cmd.Apply(target); err != nil {
+				resp = WireResponse{Error: err.Error()}
+			}
+			json.NewEncoder(conn).Encode(resp)
+		}(conn)
+	}
+}

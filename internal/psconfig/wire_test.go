@@ -1,0 +1,60 @@
+package psconfig
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/controlplane"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	cmd, _ := ParseConfigP4([]string{"--metric", "rtt", "--alert", "--threshold", "90", "--samples_per_second", "20"})
+	back, err := FromWire(cmd.ToWire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Metric != "rtt" || !back.Alert || back.Threshold != 90 || back.SamplesPerSecond != 20 {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+}
+
+func TestWireRejectsInvalid(t *testing.T) {
+	if _, err := FromWire(WireCommand{Metric: "bogus", SamplesPerSecond: 1}); err == nil {
+		t.Fatal("invalid metric must be rejected on the server side")
+	}
+	if _, err := FromWire(WireCommand{}); err == nil {
+		t.Fatal("empty command must be rejected")
+	}
+}
+
+func TestSendAndServeOverTCP(t *testing.T) {
+	cp := newRealControlPlane(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go ServeConfig(ln, cp)
+
+	cmd, _ := ParseConfigP4([]string{"--metric", "throughput", "--samples_per_second", "8"})
+	if err := cmd.Send(ln.Addr().String(), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := cp.MetricConfigFor(controlplane.MetricThroughput).SamplesPerSecond; got != 8 {
+		t.Fatalf("rate=%f after wire apply", got)
+	}
+
+	// An invalid command must come back as a rejection, not silence.
+	bad := Command{Metric: "throughput"} // nothing to configure
+	if err := bad.Send(ln.Addr().String(), 2*time.Second); err == nil {
+		t.Fatal("server must reject an empty command")
+	}
+}
+
+func TestSendConnectError(t *testing.T) {
+	cmd, _ := ParseConfigP4([]string{"--samples_per_second", "1"})
+	if err := cmd.Send("127.0.0.1:1", 200*time.Millisecond); err == nil {
+		t.Fatal("connecting to a dead port must fail")
+	}
+}

@@ -1,0 +1,206 @@
+// Package simtime provides the deterministic discrete-event engine that
+// drives every simulation in this repository. Time is virtual and measured
+// in integer nanoseconds; events scheduled for the same instant fire in
+// the order they were scheduled, which makes whole-system runs
+// reproducible bit-for-bit given the same seed.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of the
+// simulation. It intentionally mirrors the nanosecond granularity of the
+// Tofino switch clock the paper relies on.
+type Time int64
+
+// Common durations, expressed in Time units for convenience.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Duration converts a standard library duration to simulation time.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Seconds returns the timestamp as floating-point seconds, the unit used
+// on the x axis of every figure in the paper.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis returns the timestamp as floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// String renders the time compactly for logs and reports.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.6fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// event is a scheduled callback. seq breaks ties so that events scheduled
+// earlier at the same timestamp run first.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; all simulated components run on the engine's
+// goroutine, which is what makes runs deterministic.
+type Engine struct {
+	pq      eventHeap
+	now     Time
+	seq     uint64
+	stopped bool
+
+	// Processed counts events executed; useful for benchmarks and as a
+	// runaway guard in tests.
+	Processed uint64
+}
+
+// NewEngine returns an engine positioned at time zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.pq)
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn after delay. A negative delay is treated as zero
+// (fires at the current instant, after already-queued same-instant
+// events).
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at the absolute virtual time t. Scheduling in the past is a
+// programming error and panics: silently reordering history would make
+// simulation results meaningless.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("simtime: scheduling at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the queue drains or the
+// next event lies strictly beyond until. The clock is left at until (or
+// at the last executed event if the queue drained earlier than until).
+func (e *Engine) Run(until Time) {
+	e.stopped = false
+	for len(e.pq) > 0 && !e.stopped {
+		next := e.pq[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.pq)
+		e.now = next.at
+		e.Processed++
+		next.fn()
+	}
+	if e.now < until && !e.stopped {
+		e.now = until
+	}
+}
+
+// RunAll executes every queued event regardless of timestamp. Use only
+// in tests with a bounded event population.
+func (e *Engine) RunAll() {
+	e.stopped = false
+	for len(e.pq) > 0 && !e.stopped {
+		next := heap.Pop(&e.pq).(event)
+		e.now = next.at
+		e.Processed++
+		next.fn()
+	}
+}
+
+// Pending reports how many events are queued.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Ticker repeatedly invokes fn every interval starting at start, until
+// cancel is called. It is the building block for the control plane's
+// periodic register extraction.
+type Ticker struct {
+	engine   *Engine
+	interval Time
+	fn       func(Time)
+	stopped  bool
+}
+
+// NewTicker schedules fn to run at start and then every interval.
+// interval must be positive.
+func NewTicker(e *Engine, start, interval Time, fn func(Time)) *Ticker {
+	if interval <= 0 {
+		panic("simtime: ticker interval must be positive")
+	}
+	t := &Ticker{engine: e, interval: interval, fn: fn}
+	e.At(start, t.tick)
+	return t
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn(t.engine.Now())
+	if !t.stopped {
+		t.engine.Schedule(t.interval, t.tick)
+	}
+}
+
+// SetInterval changes the period applied after the next firing. This is
+// how the control plane escalates the reporting rate when an alert
+// threshold is exceeded.
+func (t *Ticker) SetInterval(interval Time) {
+	if interval <= 0 {
+		panic("simtime: ticker interval must be positive")
+	}
+	t.interval = interval
+}
+
+// Interval returns the current period.
+func (t *Ticker) Interval() Time { return t.interval }
+
+// Stop cancels future firings.
+func (t *Ticker) Stop() { t.stopped = true }

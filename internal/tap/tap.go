@@ -1,0 +1,97 @@
+// Package tap models the pair of passive optical TAPs the paper inserts
+// at the ingress and egress ports of the legacy core switch (§3.1,
+// §4.2). Each TAP delivers a timestamped copy of every packet to the
+// monitor port of the P4 programmable switch; the production path never
+// observes the TAP (zero interference — the "passive measurement"
+// property of §3.3.1).
+package tap
+
+import (
+	"repro/internal/packet"
+	"repro/internal/simtime"
+	"repro/internal/switchsim"
+)
+
+// CopyPoint distinguishes the two mirror locations.
+type CopyPoint int
+
+// The two TAP positions on the core switch.
+const (
+	Ingress CopyPoint = iota // packet entering the core switch
+	Egress                   // packet leaving the core switch
+)
+
+func (p CopyPoint) String() string {
+	if p == Ingress {
+		return "ingress"
+	}
+	return "egress"
+}
+
+// Copy is one mirrored packet delivered to the monitoring device.
+type Copy struct {
+	Pkt   *packet.Packet
+	Point CopyPoint
+	// At is the nanosecond timestamp at which the original packet
+	// passed the TAP.
+	At simtime.Time
+}
+
+// Monitor consumes TAP copies; the P4 programmable switch's data plane
+// implements this.
+type Monitor interface {
+	ProcessCopy(c Copy)
+}
+
+// Pair is the two optical TAPs wired to one core switch. Attach splices
+// them into the switch's ingress and egress mirror hooks.
+type Pair struct {
+	monitor Monitor
+
+	// EgressFilter restricts which departure port the egress TAP
+	// mirrors, by link name. The paper's TAPs sit on the core switch's
+	// WAN-side pair, so the monitored queue is that one port — mixing
+	// per-packet queue delays from unrelated ports would corrupt the
+	// microburst signal. Nil mirrors every port.
+	EgressFilter func(link string) bool
+
+	// MirrorDelay models the propagation from TAP to monitor port. It
+	// shifts delivery time but not the embedded timestamps, exactly like
+	// a fixed fibre run. Zero by default (the timestamps are what the
+	// algorithms use, so the delay is immaterial to results).
+	MirrorDelay simtime.Time
+
+	engine *simtime.Engine
+
+	// Stats
+	IngressCopies uint64
+	EgressCopies  uint64
+}
+
+// NewPair creates a TAP pair delivering to monitor.
+func NewPair(e *simtime.Engine, monitor Monitor) *Pair {
+	return &Pair{monitor: monitor, engine: e}
+}
+
+// Attach splices the pair into the core switch.
+func (p *Pair) Attach(sw *switchsim.Switch) {
+	sw.IngressTap = func(pkt *packet.Packet, at simtime.Time, _ string) {
+		p.IngressCopies++
+		p.deliver(Copy{Pkt: pkt.Clone(), Point: Ingress, At: at})
+	}
+	sw.EgressTap = func(pkt *packet.Packet, at simtime.Time, link string) {
+		if p.EgressFilter != nil && !p.EgressFilter(link) {
+			return
+		}
+		p.EgressCopies++
+		p.deliver(Copy{Pkt: pkt.Clone(), Point: Egress, At: at})
+	}
+}
+
+func (p *Pair) deliver(c Copy) {
+	if p.MirrorDelay <= 0 {
+		p.monitor.ProcessCopy(c)
+		return
+	}
+	p.engine.Schedule(p.MirrorDelay, func() { p.monitor.ProcessCopy(c) })
+}

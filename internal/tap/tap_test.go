@@ -1,0 +1,156 @@
+package tap
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/simtime"
+	"repro/internal/switchsim"
+)
+
+// recorder collects TAP copies.
+type recorder struct {
+	copies []Copy
+}
+
+func (r *recorder) ProcessCopy(c Copy) { r.copies = append(r.copies, c) }
+
+func buildTappedSwitch(e *simtime.Engine, mon Monitor) (*switchsim.Switch, *netsim.Sink, *Pair) {
+	sw := switchsim.New(e, "core")
+	sink := &netsim.Sink{Label: "dst"}
+	l := netsim.NewLink(e, "out", sink, netsim.Mbps(8), 0, nil)
+	sw.AddRoute(netip.MustParsePrefix("192.168.1.0/24"), l, 0)
+	pair := NewPair(e, mon)
+	pair.Attach(sw)
+	return sw, sink, pair
+}
+
+func pkt(payload int) *packet.Packet {
+	ft := packet.FiveTuple{
+		SrcIP:   packet.MustAddr("10.0.0.1"),
+		DstIP:   packet.MustAddr("192.168.1.2"),
+		SrcPort: 1,
+		DstPort: 2,
+		Proto:   packet.ProtoTCP,
+	}
+	return packet.NewTCP(ft, 1, 0, packet.FlagACK, payload)
+}
+
+func TestPairMirrorsBothPoints(t *testing.T) {
+	e := simtime.NewEngine()
+	rec := &recorder{}
+	sw, sink, pair := buildTappedSwitch(e, rec)
+	sw.Receive(pkt(946), nil)
+	e.Run(simtime.Second)
+
+	if pair.IngressCopies != 1 || pair.EgressCopies != 1 {
+		t.Fatalf("copies %d/%d", pair.IngressCopies, pair.EgressCopies)
+	}
+	if len(rec.copies) != 2 {
+		t.Fatalf("monitor saw %d copies", len(rec.copies))
+	}
+	if rec.copies[0].Point != Ingress || rec.copies[1].Point != Egress {
+		t.Fatal("copy points wrong")
+	}
+	// Egress stamp minus ingress stamp is the switch transit time
+	// (1 ms serialisation at 8 Mbps for 1000 wire bytes).
+	if d := rec.copies[1].At - rec.copies[0].At; d != simtime.Millisecond {
+		t.Fatalf("transit %v, want 1ms", d)
+	}
+	if sink.Packets != 1 {
+		t.Fatal("production path must still deliver")
+	}
+}
+
+func TestCopiesAreClones(t *testing.T) {
+	e := simtime.NewEngine()
+	rec := &recorder{}
+	sw, _, _ := buildTappedSwitch(e, rec)
+	p := pkt(100)
+	sw.Receive(p, nil)
+	e.Run(simtime.Second)
+
+	// Mutating the monitor's copy must not affect the original packet
+	// still traversing the production path.
+	rec.copies[0].Pkt.SeqExt = 999999
+	if p.SeqExt == 999999 {
+		t.Fatal("monitor copy aliases the production packet")
+	}
+}
+
+func TestMirrorDelayShiftsDeliveryNotTimestamps(t *testing.T) {
+	e := simtime.NewEngine()
+	rec := &recorder{}
+	var deliveredAt []simtime.Time
+	mon := monitorFunc(func(c Copy) {
+		rec.ProcessCopy(c)
+		deliveredAt = append(deliveredAt, e.Now())
+	})
+	sw := switchsim.New(e, "core")
+	sink := &netsim.Sink{Label: "dst"}
+	l := netsim.NewLink(e, "out", sink, netsim.Mbps(8), 0, nil)
+	sw.AddRoute(netip.MustParsePrefix("192.168.1.0/24"), l, 0)
+	pair := NewPair(e, mon)
+	pair.MirrorDelay = 3 * simtime.Millisecond
+	pair.Attach(sw)
+
+	sw.Receive(pkt(946), nil)
+	e.Run(simtime.Second)
+
+	if len(rec.copies) != 2 {
+		t.Fatalf("copies: %d", len(rec.copies))
+	}
+	// Timestamps embedded in the copies are the TAP instants...
+	if rec.copies[0].At != 0 || rec.copies[1].At != simtime.Millisecond {
+		t.Fatalf("stamps %v %v", rec.copies[0].At, rec.copies[1].At)
+	}
+	// ...while delivery to the monitor happens MirrorDelay later.
+	if deliveredAt[0] != 3*simtime.Millisecond {
+		t.Fatalf("delivered at %v, want 3ms", deliveredAt[0])
+	}
+}
+
+type monitorFunc func(Copy)
+
+func (f monitorFunc) ProcessCopy(c Copy) { f(c) }
+
+func TestCopyPointString(t *testing.T) {
+	if Ingress.String() != "ingress" || Egress.String() != "egress" {
+		t.Fatal("point names wrong")
+	}
+}
+
+func TestPassiveNoInterference(t *testing.T) {
+	// The §3.3.1 property: the same workload with and without TAPs
+	// delivers packets at identical times.
+	run := func(withTap bool) []simtime.Time {
+		e := simtime.NewEngine()
+		sw := switchsim.New(e, "core")
+		var arrivals []simtime.Time
+		sink := &netsim.Sink{Label: "dst", OnPacket: func(*packet.Packet) {
+			arrivals = append(arrivals, e.Now())
+		}}
+		l := netsim.NewLink(e, "out", sink, netsim.Mbps(8), simtime.Millisecond, nil)
+		sw.AddRoute(netip.MustParsePrefix("192.168.1.0/24"), l, 0)
+		if withTap {
+			NewPair(e, &recorder{}).Attach(sw)
+		}
+		for i := 0; i < 10; i++ {
+			sw.Receive(pkt(500+i), nil)
+		}
+		e.Run(simtime.Second)
+		return arrivals
+	}
+	a := run(false)
+	b := run(true)
+	if len(a) != len(b) {
+		t.Fatal("different delivery counts")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tap changed delivery time %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package tcp
+
+import (
+	"math"
+
+	"repro/internal/simtime"
+)
+
+// bbr is a model-based congestion controller in the spirit of BBR
+// (Cardwell et al.): instead of reacting to loss, it estimates the
+// path's bottleneck bandwidth and minimum RTT and sizes the window to
+// their product. The paper's related work (Gomez et al. [16]) studies
+// BBRv2 coexistence with CUBIC; this implementation lets the testbed
+// reproduce mixed-CCA experiments and feeds the same flight-size
+// signature the §4.4 limitation classifier reads.
+//
+// The model is simplified but preserves BBR's defining behaviours:
+//   - windowed max filter over delivery-rate samples (bottleneck bw);
+//   - windowed min filter over RTT samples (propagation delay);
+//   - cwnd = cwndGain x bw x minRTT;
+//   - periodic ProbeBW gain cycling and ProbeRTT drains;
+//   - loss does not reduce the window (beyond the cwnd model itself).
+type bbr struct {
+	mss  float64
+	cwnd float64
+
+	// Delivery-rate estimation.
+	deliveredBytes uint64
+	lastSampleAt   simtime.Time
+	lastDelivered  uint64
+
+	// Windowed filters. Pushes are throttled to a few per RTT: the
+	// filters are pruned linearly on insert, so per-ACK insertion at
+	// high ACK rates would cost O(window) per packet.
+	bwFilter    []fsample // max filter, bytes/sec
+	rttFilter   []fsample // min filter
+	bwBps       float64
+	minRTT      simtime.Time
+	lastRTTPush simtime.Time
+
+	// State machine: startup → drain → probe_bw (+probe_rtt visits).
+	state      bbrState
+	cycleIdx   int
+	cycleStart simtime.Time
+	rttStamp   simtime.Time // last time minRTT was refreshed
+	probeUntil simtime.Time
+}
+
+type bbrState int
+
+const (
+	bbrStartup bbrState = iota
+	bbrDrain
+	bbrProbeBW
+	bbrProbeRTT
+)
+
+type fsample struct {
+	at simtime.Time
+	v  float64
+}
+
+// bbrPacingGains is the ProbeBW gain cycle.
+var bbrPacingGains = []float64{1.25, 0.75, 1, 1, 1, 1, 1, 1}
+
+const (
+	bbrStartupGain = 2.885 // 2/ln(2)
+	// bbrCwndGain bounds inflight to ~1.25 BDP. Real BBR paces at the
+	// estimated bandwidth and uses a 2x window only as a ceiling; this
+	// implementation is window-driven, so the window itself must sit
+	// near the BDP or the standing queue starves loss-based flows
+	// (the BBRv1 coexistence problem of Gomez et al. [16]).
+	bbrCwndGain     = 1.25
+	bbrBWWindow     = 10 * simtime.Second
+	bbrRTTWindow    = 10 * simtime.Second
+	bbrProbeRTTTime = 200 * simtime.Millisecond
+)
+
+func newBBR(mss, initialCwnd int) *bbr {
+	return &bbr{
+		mss:   float64(mss),
+		cwnd:  float64(initialCwnd) * float64(mss),
+		state: bbrStartup,
+	}
+}
+
+func (b *bbr) window() float64 { return b.cwnd }
+
+func (b *bbr) onAck(acked int, srtt simtime.Time, now simtime.Time) {
+	b.deliveredBytes += uint64(acked)
+
+	// Delivery-rate sample over ~one srtt.
+	if b.lastSampleAt == 0 {
+		b.lastSampleAt = now
+		b.lastDelivered = b.deliveredBytes
+	} else if elapsed := now - b.lastSampleAt; elapsed >= srtt && elapsed > 0 {
+		rate := float64(b.deliveredBytes-b.lastDelivered) / elapsed.Seconds()
+		b.lastSampleAt = now
+		b.lastDelivered = b.deliveredBytes
+		b.pushBW(rate, now)
+	}
+	if srtt > 0 && now-b.lastRTTPush >= srtt/4 {
+		b.pushRTT(srtt, now)
+		b.lastRTTPush = now
+	}
+	b.advance(now)
+	b.updateCwnd(now)
+}
+
+func (b *bbr) pushBW(rate float64, now simtime.Time) {
+	b.bwFilter = append(b.bwFilter, fsample{now, rate})
+	cut := now - bbrBWWindow
+	kept := b.bwFilter[:0]
+	max := 0.0
+	for _, s := range b.bwFilter {
+		if s.at >= cut {
+			kept = append(kept, s)
+			if s.v > max {
+				max = s.v
+			}
+		}
+	}
+	b.bwFilter = kept
+	b.bwBps = max
+}
+
+func (b *bbr) pushRTT(rtt simtime.Time, now simtime.Time) {
+	b.rttFilter = append(b.rttFilter, fsample{now, float64(rtt)})
+	cut := now - bbrRTTWindow
+	kept := b.rttFilter[:0]
+	min := math.MaxFloat64
+	for _, s := range b.rttFilter {
+		if s.at >= cut {
+			kept = append(kept, s)
+			if s.v < min {
+				min = s.v
+			}
+		}
+	}
+	b.rttFilter = kept
+	if min < math.MaxFloat64 {
+		newMin := simtime.Time(min)
+		if b.minRTT == 0 || newMin < b.minRTT {
+			b.rttStamp = now
+		}
+		b.minRTT = newMin
+	}
+}
+
+// advance runs the BBR state machine.
+func (b *bbr) advance(now simtime.Time) {
+	switch b.state {
+	case bbrStartup:
+		// Leave startup once the bandwidth estimate plateaus: the max
+		// filter holding for ~3 estimation windows approximates "no
+		// 25% growth in 3 rounds".
+		if len(b.bwFilter) >= 6 {
+			recent := b.bwFilter[len(b.bwFilter)-1].v
+			if recent < 1.1*b.bwBps {
+				b.state = bbrDrain
+			}
+		}
+	case bbrDrain:
+		// Drain completes when the inflight implied by the window gain
+		// has decayed; approximate with one state transition per call
+		// once cwnd fits the BDP.
+		if b.bwBps > 0 && b.minRTT > 0 && b.cwnd <= b.bdp() {
+			b.state = bbrProbeBW
+			b.cycleStart = now
+		}
+	case bbrProbeBW:
+		if b.minRTT > 0 && now-b.cycleStart >= b.minRTT {
+			b.cycleIdx = (b.cycleIdx + 1) % len(bbrPacingGains)
+			b.cycleStart = now
+		}
+		// Visit ProbeRTT when the min-RTT estimate has gone stale.
+		if b.rttStamp > 0 && now-b.rttStamp > bbrRTTWindow {
+			b.state = bbrProbeRTT
+			b.probeUntil = now + bbrProbeRTTTime
+		}
+	case bbrProbeRTT:
+		if now >= b.probeUntil {
+			b.rttStamp = now
+			b.state = bbrProbeBW
+			b.cycleStart = now
+		}
+	}
+}
+
+func (b *bbr) bdp() float64 {
+	return b.bwBps * b.minRTT.Seconds()
+}
+
+func (b *bbr) updateCwnd(now simtime.Time) {
+	switch b.state {
+	case bbrStartup:
+		b.cwnd *= 1 + (bbrStartupGain-1)*0.05 // exponential-ish growth per ACK batch
+	case bbrDrain:
+		target := b.bdp()
+		if target > 0 && b.cwnd > target {
+			b.cwnd = math.Max(b.cwnd*0.95, target)
+		}
+	case bbrProbeBW:
+		if b.bwBps > 0 && b.minRTT > 0 {
+			gain := bbrPacingGains[b.cycleIdx]
+			b.cwnd = math.Max(bbrCwndGain*b.bdp()*gain/1.0, 4*b.mss)
+		}
+	case bbrProbeRTT:
+		b.cwnd = math.Max(4*b.mss, b.bdp()*0.5)
+	}
+	if b.cwnd < 4*b.mss {
+		b.cwnd = 4 * b.mss
+	}
+}
+
+// onLoss applies the BBRv2-style mild loss response: a small bounded
+// back-off instead of CUBIC's multiplicative cut, improving coexistence
+// without surrendering the bandwidth model.
+func (b *bbr) onLoss(flight int, now simtime.Time) {
+	b.cwnd = math.Max(b.cwnd*0.9, 4*b.mss)
+}
+
+// onTimeout falls back conservatively, as real BBR does on RTO.
+func (b *bbr) onTimeout(flight int) { b.cwnd = 4 * b.mss }
+
+func (b *bbr) exitRecovery() {}
+
+func (b *bbr) inSlowStart() bool { return b.state == bbrStartup }
+
+func (b *bbr) exitSlowStart() {
+	if b.state == bbrStartup {
+		b.state = bbrDrain
+	}
+}

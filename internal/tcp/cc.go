@@ -1,0 +1,194 @@
+package tcp
+
+import (
+	"math"
+
+	"repro/internal/simtime"
+)
+
+// congestionControl abstracts the sender's window computation. Windows
+// are tracked in bytes.
+type congestionControl interface {
+	// window returns the current congestion window in bytes.
+	window() float64
+	// onAck processes a cumulative acknowledgment of ackedBytes outside
+	// fast recovery.
+	onAck(ackedBytes int, srtt simtime.Time, now simtime.Time)
+	// onLoss reacts to entering fast recovery (triple duplicate ACK).
+	onLoss(flightBytes int, now simtime.Time)
+	// onTimeout reacts to an RTO expiry.
+	onTimeout(flightBytes int)
+	// exitRecovery restores the window when recovery completes. (The
+	// sender uses RFC 6675-style pipe accounting during recovery, so
+	// no RFC 5681 window inflation is needed.)
+	exitRecovery()
+	// inSlowStart reports whether the algorithm is still in the
+	// exponential phase.
+	inSlowStart() bool
+	// exitSlowStart ends the exponential phase at the current window —
+	// the HyStart delay-based exit, triggered by the sender when RTT
+	// samples show the queue building.
+	exitSlowStart()
+}
+
+// ---------------------------------------------------------------------
+// NewReno
+// ---------------------------------------------------------------------
+
+type reno struct {
+	mss      float64
+	cwnd     float64
+	ssthresh float64
+}
+
+func newReno(mss, initialCwnd int) *reno {
+	return &reno{
+		mss:      float64(mss),
+		cwnd:     float64(initialCwnd) * float64(mss),
+		ssthresh: math.MaxFloat64,
+	}
+}
+
+func (r *reno) window() float64 { return r.cwnd }
+
+func (r *reno) onAck(acked int, _ simtime.Time, _ simtime.Time) {
+	if r.cwnd < r.ssthresh {
+		// Slow start: one MSS per acked segment, i.e. acked bytes.
+		r.cwnd += float64(acked)
+		if r.cwnd > r.ssthresh {
+			r.cwnd = r.ssthresh
+		}
+	} else {
+		// Congestion avoidance: ~one MSS per RTT.
+		r.cwnd += r.mss * r.mss / r.cwnd
+	}
+}
+
+func (r *reno) onLoss(flight int, _ simtime.Time) {
+	r.ssthresh = math.Max(float64(flight)/2, 2*r.mss)
+	r.cwnd = r.ssthresh
+}
+
+func (r *reno) onTimeout(flight int) {
+	r.ssthresh = math.Max(float64(flight)/2, 2*r.mss)
+	r.cwnd = r.mss
+}
+
+func (r *reno) exitRecovery() { r.cwnd = r.ssthresh }
+
+func (r *reno) inSlowStart() bool { return r.cwnd < r.ssthresh }
+
+func (r *reno) exitSlowStart() { r.ssthresh = r.cwnd }
+
+// ---------------------------------------------------------------------
+// CUBIC (RFC 8312)
+// ---------------------------------------------------------------------
+
+const (
+	cubicC    = 0.4 // aggressiveness constant, segments/sec^3
+	cubicBeta = 0.7 // multiplicative decrease factor
+)
+
+type cubic struct {
+	mss      float64
+	cwnd     float64 // bytes
+	ssthresh float64 // bytes
+	wMax     float64 // segments, window before the last reduction
+	k        float64 // seconds to regrow to wMax
+	epoch    simtime.Time
+	hasEpoch bool
+	// TCP-friendly region estimate
+	wEst   float64 // segments
+	ackCnt float64
+}
+
+func newCubic(mss, initialCwnd int) *cubic {
+	return &cubic{
+		mss:      float64(mss),
+		cwnd:     float64(initialCwnd) * float64(mss),
+		ssthresh: math.MaxFloat64,
+	}
+}
+
+func (c *cubic) window() float64 { return c.cwnd }
+
+func (c *cubic) onAck(acked int, srtt simtime.Time, now simtime.Time) {
+	if c.cwnd < c.ssthresh {
+		c.cwnd += float64(acked)
+		if c.cwnd > c.ssthresh {
+			c.cwnd = c.ssthresh
+		}
+		return
+	}
+	// Congestion avoidance, cubic growth.
+	if !c.hasEpoch {
+		c.epoch = now
+		c.hasEpoch = true
+		segs := c.cwnd / c.mss
+		if c.wMax < segs {
+			c.wMax = segs
+		}
+		c.k = math.Cbrt(c.wMax * (1 - cubicBeta) / cubicC)
+		c.wEst = segs
+		c.ackCnt = 0
+	}
+	t := (now - c.epoch).Seconds()
+	target := cubicC*math.Pow(t-c.k, 3) + c.wMax // segments
+
+	// TCP-friendly window (standard AIMD estimate).
+	c.ackCnt += float64(acked) / c.mss
+	segs := c.cwnd / c.mss
+	if c.ackCnt >= segs {
+		c.wEst += 1
+		c.ackCnt = 0
+	}
+	if target < c.wEst {
+		target = c.wEst
+	}
+
+	if target > segs {
+		// Approach the target over roughly one RTT worth of ACKs.
+		c.cwnd += (target - segs) / segs * float64(acked)
+	} else {
+		// Tiny growth to stay responsive even above target.
+		c.cwnd += c.mss * 0.01 * float64(acked) / c.cwnd
+	}
+}
+
+func (c *cubic) onLoss(flight int, now simtime.Time) {
+	segs := c.cwnd / c.mss
+	// Fast convergence: release bandwidth faster when the window is
+	// still below the previous wMax (another flow is ramping up).
+	if segs < c.wMax {
+		c.wMax = segs * (1 + cubicBeta) / 2
+	} else {
+		c.wMax = segs
+	}
+	c.cwnd = math.Max(c.cwnd*cubicBeta, 2*c.mss)
+	c.ssthresh = c.cwnd
+	c.hasEpoch = false
+}
+
+func (c *cubic) onTimeout(flight int) {
+	segs := c.cwnd / c.mss
+	if segs < c.wMax {
+		c.wMax = segs * (1 + cubicBeta) / 2
+	} else {
+		c.wMax = segs
+	}
+	c.ssthresh = math.Max(c.cwnd*cubicBeta, 2*c.mss)
+	c.cwnd = c.mss
+	c.hasEpoch = false
+}
+
+func (c *cubic) exitRecovery() {}
+
+func (c *cubic) inSlowStart() bool { return c.cwnd < c.ssthresh }
+
+func (c *cubic) exitSlowStart() {
+	c.ssthresh = c.cwnd
+	segs := c.cwnd / c.mss
+	if c.wMax < segs {
+		c.wMax = segs
+	}
+}

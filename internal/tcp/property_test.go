@@ -1,0 +1,138 @@
+package tcp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/simtime"
+)
+
+// TestPropertyTransferIntegrity: for any transfer size, loss rate and
+// bottleneck in sensible ranges, the receiver must deliver exactly the
+// bytes sent, in order, exactly once — TCP's fundamental invariant,
+// whatever the loss pattern does to the wire.
+func TestPropertyTransferIntegrity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test with many simulations")
+	}
+	f := func(sizeKB uint16, lossTenths uint8, seed uint16) bool {
+		size := uint64(sizeKB%512+1) * 1024     // 1 KB .. 512 KB
+		loss := float64(lossTenths%40) / 1000.0 // 0 .. 3.9%
+
+		e := simtime.NewEngine()
+		cli := NewHost(e, "c", packet.MustAddr("10.0.0.1"))
+		srv := NewHost(e, "s", packet.MustAddr("10.0.1.1"))
+		sw := &swNode{engine: e, srvIP: srv.IP()}
+		cli.AttachUplink(netsim.NewLink(e, "cu", sw, netsim.Mbps(100), 0, nil))
+		srv.AttachUplink(netsim.NewLink(e, "su", sw, netsim.Mbps(100), 0, nil))
+		lossLink := netsim.NewLink(e, "ss", srv, netsim.Mbps(50), 2*simtime.Millisecond, simtime.NewRNG(uint64(seed)+1))
+		lossLink.LossRate = loss
+		sw.toSrv = lossLink
+		sw.toCli = netsim.NewLink(e, "sc", cli, netsim.Mbps(100), 2*simtime.Millisecond, simtime.NewRNG(uint64(seed)+2))
+
+		var recvd *Conn
+		ln := srv.Listen(5201, Config{})
+		ln.OnAccept = func(c *Conn) { recvd = c }
+		done := false
+		c := cli.Dial(srv.IP(), 5201, Config{MSS: 1448})
+		c.OnComplete = func(*Conn) { done = true }
+		c.StartTransfer(size)
+		e.Run(600 * simtime.Second)
+
+		if !done || recvd == nil {
+			return false
+		}
+		// Exactly-once, in-order delivery.
+		return recvd.Stats.BytesRecv == size && recvd.rcvNxt == 1+size+1 // data + FIN
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySackScoreboard: merging arbitrary SACK blocks must keep
+// the scoreboard sorted, disjoint and within bounds.
+func TestPropertySackScoreboard(t *testing.T) {
+	f := func(blocks [][2]uint16) bool {
+		c := &Conn{sndUna: 100}
+		for _, b := range blocks {
+			lo, hi := uint64(b[0]), uint64(b[1])
+			c.mergeSack(interval{lo, hi})
+		}
+		prev := uint64(0)
+		for _, seg := range c.sacked {
+			if seg.lo >= seg.hi {
+				return false // empty or inverted
+			}
+			if seg.lo < c.sndUna {
+				return false // below the cumulative ACK
+			}
+			if seg.lo < prev {
+				return false // unsorted or overlapping
+			}
+			prev = seg.hi
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyOOOBuffer: the receiver's out-of-order list must remain
+// sorted and disjoint under arbitrary insertions, and absorb cleanly.
+func TestPropertyOOOBuffer(t *testing.T) {
+	f := func(ranges [][2]uint16) bool {
+		c := &Conn{}
+		for _, r := range ranges {
+			lo, hi := uint64(r[0]), uint64(r[1])
+			if lo >= hi {
+				continue
+			}
+			c.insertOOO(interval{lo, hi})
+		}
+		prev := uint64(0)
+		first := true
+		for _, seg := range c.oooSegs {
+			if seg.lo >= seg.hi {
+				return false
+			}
+			if !first && seg.lo <= prev {
+				return false // must be strictly disjoint
+			}
+			prev = seg.hi
+			first = false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySackedBytesConsistent: sackedBytes equals the sum of the
+// clipped scoreboard ranges.
+func TestPropertySackedBytesConsistent(t *testing.T) {
+	f := func(una uint16, blocks [][2]uint16) bool {
+		c := &Conn{sndUna: uint64(una)}
+		for _, b := range blocks {
+			c.mergeSack(interval{uint64(b[0]), uint64(b[1])})
+		}
+		var want uint64
+		for _, seg := range c.sacked {
+			lo := seg.lo
+			if lo < c.sndUna {
+				lo = c.sndUna
+			}
+			if seg.hi > lo {
+				want += seg.hi - lo
+			}
+		}
+		return c.sackedBytes() == int(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

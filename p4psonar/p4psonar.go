@@ -1,0 +1,180 @@
+// Package p4psonar is the public facade of the P4-perfSONAR
+// reproduction: it re-exports the assembled system (topology + TAPs +
+// P4 data plane + control plane + perfSONAR archiver), the experiment
+// drivers for every table and figure in the paper, and the pSConfig
+// config-P4 command surface.
+//
+// Quick start:
+//
+//	sys := p4psonar.NewSystem(p4psonar.Options{})
+//	sys.Start()
+//	sys.TransferToExternal(0, 0, 0, 10*p4psonar.Second, p4psonar.SenderConfig{MSS: 8960}, p4psonar.ReceiverConfig{})
+//	sys.Run(12 * p4psonar.Second)
+//	for dst, series := range sys.SeriesByDestination(p4psonar.MetricThroughput) {
+//		fmt.Println(dst, series.Mean())
+//	}
+package p4psonar
+
+import (
+	"repro/internal/controlplane"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/inband"
+	"repro/internal/mmwave"
+	"repro/internal/psconfig"
+	"repro/internal/simtime"
+	"repro/internal/tcp"
+)
+
+// System assembly.
+type (
+	// System is the full testbed plus measurement chain (Figure 4).
+	System = core.System
+	// Options configures the testbed; zero values select the paper's
+	// parameters (10 Gbps bottleneck, 50/75/100 ms RTTs, 1-BDP buffer).
+	Options = core.Options
+	// SenderConfig tunes a transfer's sending endpoint.
+	SenderConfig = tcp.Config
+	// ReceiverConfig tunes a transfer's receiving endpoint.
+	ReceiverConfig = tcp.Config
+)
+
+// NewSystem builds the testbed.
+func NewSystem(opts Options) *System { return core.NewSystem(opts) }
+
+// BDPBytes computes a bandwidth-delay product in bytes.
+func BDPBytes(bps float64, rtt Time) int { return core.BDPBytes(bps, rtt) }
+
+// Virtual time.
+type Time = simtime.Time
+
+// Time units.
+const (
+	Nanosecond  = simtime.Nanosecond
+	Microsecond = simtime.Microsecond
+	Millisecond = simtime.Millisecond
+	Second      = simtime.Second
+)
+
+// Metrics and reports.
+type (
+	// Metric names one of the four monitored quantities.
+	Metric = controlplane.Metric
+	// Report is the structured record the control plane emits.
+	Report = controlplane.Report
+)
+
+// The four configurable metrics of Figure 5(a).
+const (
+	MetricThroughput     = controlplane.MetricThroughput
+	MetricPacketLoss     = controlplane.MetricPacketLoss
+	MetricRTT            = controlplane.MetricRTT
+	MetricQueueOccupancy = controlplane.MetricQueueOccupancy
+)
+
+// Limitation verdicts (§4.4).
+const (
+	LimitedByNetwork  = controlplane.LimitedByNetwork
+	LimitedByEndpoint = controlplane.LimitedByEndpoint
+)
+
+// pSConfig integration (Figure 6).
+type (
+	// ConfigCommand is a parsed `psconfig config-P4` invocation.
+	ConfigCommand = psconfig.Command
+)
+
+// ParseConfigP4 parses config-P4 arguments.
+func ParseConfigP4(args []string) (ConfigCommand, error) { return psconfig.ParseConfigP4(args) }
+
+// Experiments: one entry point per table/figure.
+type (
+	// Scale selects paper-scale or fast-scale experiment runs.
+	Scale = experiments.Scale
+)
+
+// PaperScale runs experiments at the testbed's 10 Gbps.
+func PaperScale() Scale { return experiments.Paper() }
+
+// FastScale runs experiments at 1/20 bandwidth for quick iteration.
+func FastScale() Scale { return experiments.Fast() }
+
+// Experiment configurations and results.
+type (
+	Fig9Config   = experiments.Fig9Config
+	Fig9Result   = experiments.Fig9Result
+	Fig11Config  = experiments.Fig11Config
+	Fig11Result  = experiments.Fig11Result
+	Fig12Config  = experiments.Fig12Config
+	Fig12Result  = experiments.Fig12Result
+	Fig13Config  = experiments.Fig13Config
+	Fig13Result  = experiments.Fig13Result
+	Fig14Result  = experiments.Fig14Result
+	Table1Config = experiments.Table1Config
+	Table1Result = experiments.Table1Result
+)
+
+// RunFig9 regenerates Figure 9 (and Figure 10's data).
+func RunFig9(cfg Fig9Config) *Fig9Result { return experiments.RunFig9(cfg) }
+
+// RunFig11 regenerates Figure 11.
+func RunFig11(cfg Fig11Config) *Fig11Result { return experiments.RunFig11(cfg) }
+
+// RunFig12 regenerates Figure 12.
+func RunFig12(cfg Fig12Config) *Fig12Result { return experiments.RunFig12(cfg) }
+
+// RunFig13 regenerates Figure 13.
+func RunFig13(cfg Fig13Config) *Fig13Result { return experiments.RunFig13(cfg) }
+
+// RunFig14 regenerates Figure 14.
+func RunFig14(cfg Fig13Config) *Fig14Result { return experiments.RunFig14(cfg) }
+
+// RunTable1 regenerates the Table 1 comparison.
+func RunTable1(cfg Table1Config) *Table1Result { return experiments.RunTable1(cfg) }
+
+// Coexistence extension (beyond the paper; from its related work).
+type (
+	// CoexistenceConfig parameterises the CUBIC/BBR coexistence and
+	// P4CCI-style identification experiment.
+	CoexistenceConfig = experiments.CoexistenceConfig
+	// CoexistenceResult reports shares and CCA verdicts.
+	CoexistenceResult = experiments.CoexistenceResult
+)
+
+// RunCoexistence runs the CUBIC/BBR extension experiment.
+func RunCoexistence(cfg CoexistenceConfig) *CoexistenceResult {
+	return experiments.RunExtCoexistence(cfg)
+}
+
+// In-band Network Telemetry extension (AmLight-style, from the paper's
+// related work).
+type (
+	// INTCollector aggregates per-hop telemetry reports.
+	INTCollector = inband.Collector
+	// INTReport is one collected packet's path telemetry.
+	INTReport = inband.Report
+	// INTHop is one hop's metadata entry.
+	INTHop = inband.HopMetadata
+)
+
+// NewINTCollector creates an empty INT collector.
+func NewINTCollector() *INTCollector { return inband.NewCollector() }
+
+// ExtractINT strips a packet's telemetry stack (the sink operation).
+var ExtractINT = inband.Extract
+
+// mmWave blockage use case (§5.4.3).
+type (
+	// BlockageDetector selects a detection design for the mmWave use
+	// case.
+	BlockageDetector = mmwave.DetectorKind
+	// BlockageResult reports one blockage scenario run.
+	BlockageResult = mmwave.Result
+)
+
+// Blockage detector kinds.
+const (
+	DetectorP4IAT      = mmwave.DetectorP4IAT
+	DetectorThroughput = mmwave.DetectorThroughput
+	DetectorRSSI       = mmwave.DetectorRSSI
+)
