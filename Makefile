@@ -1,0 +1,24 @@
+# Convenience targets mirroring the CI gate (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build vet test race lint ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) run ./cmd/p4lint ./...
+
+ci: build vet race lint

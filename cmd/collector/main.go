@@ -66,10 +66,11 @@ func (s *liveSink) Emit(r controlplane.Report) {
 	}
 }
 
-func (s *liveSink) Close() {
+func (s *liveSink) Close() error {
 	if s.conn != nil {
-		s.conn.Close()
+		return s.conn.Close()
 	}
+	return nil
 }
 
 // guardedCP serialises psconfig calls with the simulation stepper.

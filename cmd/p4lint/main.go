@@ -1,0 +1,114 @@
+// Command p4lint runs the repository's domain-aware static-analysis
+// passes over package patterns and reports file:line diagnostics. It
+// exits non-zero when any diagnostic is found, so it gates CI alongside
+// go vet and the race detector.
+//
+// Usage:
+//
+//	p4lint [-only locks,timeunits,...] [-json] [pattern ...]
+//
+// Patterns are directories, optionally ending in /... to recurse
+// (default "./..."). Examples:
+//
+//	go run ./cmd/p4lint ./...
+//	go run ./cmd/p4lint -only regwidth ./internal/dataplane
+//	go run ./cmd/p4lint -json ./internal/... > lint.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	asJSON := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	flag.Usage = usage
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	analyzers := analysis.All()
+	if *only != "" {
+		var err error
+		analyzers, err = analysis.ByName(strings.Split(*only, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4lint:", err)
+		os.Exit(2)
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4lint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p4lint:", err)
+		os.Exit(2)
+	}
+	// Surface hard type-check failures: analyzers silently miss bugs in
+	// packages whose type information is incomplete.
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "p4lint: type error in %s: %v\n", pkg.Path, terr)
+		}
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	if *asJSON {
+		type jsonDiag struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, len(diags))
+		for i, d := range diags {
+			out[i] = jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "p4lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "p4lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: p4lint [-only a,b] [-json] [pattern ...]\n\nanalyzers:\n")
+	for _, a := range analysis.All() {
+		fmt.Fprintf(os.Stderr, "  %-13s %s\n", a.Name, a.Doc)
+	}
+	flag.PrintDefaults()
+}

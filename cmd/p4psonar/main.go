@@ -27,7 +27,9 @@ func main() {
 	paper := fs.Bool("paper", false, "run at full 10 Gbps paper scale (slow)")
 	out := fs.String("out", "", "directory for CSV output (optional)")
 	seed := fs.Uint64("seed", 42, "simulation seed")
-	fs.Parse(os.Args[2:])
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2) // flag.ExitOnError has already printed the problem
+	}
 
 	targets := fs.Args()
 	if len(targets) == 0 {

@@ -1,0 +1,146 @@
+// Package analysis is the repository's domain-aware static-analysis
+// layer: a small, stdlib-only analogue of golang.org/x/tools/go/analysis
+// specialised for the invariants this P4-perfSONAR reproduction must
+// preserve — register bit widths, nanosecond time units, lock
+// discipline on shared control-plane state, checked I/O errors on the
+// archiver paths, and cancellable goroutines in server code.
+//
+// A shared Loader parses and type-checks every package once; each
+// Analyzer then walks the typed ASTs and reports Diagnostics. The
+// cmd/p4lint driver runs the registry over package patterns and prints
+// file:line: message lines (or JSON).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one analyzer finding, positioned in the original
+// source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line: form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the pass (used by -only and in diagnostics).
+	Name string
+	// Doc is a one-line description for usage output.
+	Doc string
+	// Run inspects a type-checked package, reporting findings through
+	// pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass bundles everything an analyzer needs to inspect one package.
+type Pass struct {
+	Pkg      *Package
+	Analyzer *Analyzer
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full registry of passes, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		LocksAnalyzer,
+		TimeUnitsAnalyzer,
+		RegWidthAnalyzer,
+		UncheckedErrAnalyzer,
+		GoLeakAnalyzer,
+	}
+}
+
+// ByName resolves a comma-separated -only list against the registry.
+func ByName(names []string) ([]*Analyzer, error) {
+	all := All()
+	var out []*Analyzer
+	for _, n := range names {
+		found := false
+		for _, a := range all {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			known := make([]string, len(all))
+			for i, a := range all {
+				known[i] = a.Name
+			}
+			return nil, fmt.Errorf("analysis: unknown analyzer %q (known: %v)", n, known)
+		}
+	}
+	return out, nil
+}
+
+// Run executes the given analyzers over the packages and returns the
+// combined diagnostics sorted by file position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Pkg: pkg, Analyzer: a}
+			a.Run(pass)
+			out = append(out, pass.diags...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// parentMap records the enclosing node of every AST node in a file,
+// letting analyzers look "up" the tree (e.g. is this conversion
+// immediately multiplied by a unit constant?).
+type parentMap map[ast.Node]ast.Node
+
+func buildParents(files []*ast.File) parentMap {
+	pm := parentMap{}
+	for _, f := range files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if len(stack) > 0 {
+				pm[n] = stack[len(stack)-1]
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return pm
+}

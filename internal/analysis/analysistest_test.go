@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// wantRe extracts the expectation from a `// want "pattern"` comment.
+// The pattern is a regular expression matched against the diagnostic
+// message reported on the same line.
+var wantRe = regexp.MustCompile(`//\s*want\s+"(.*)"`)
+
+type wantComment struct {
+	file    string
+	line    int
+	pattern string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// runFixture type-checks testdata/src/<fixture>, runs one analyzer over
+// it, and requires the diagnostics to line up one-to-one with the
+// fixture's want comments: every want must be matched by a diagnostic
+// on its line, and every diagnostic must be claimed by a want.
+func runFixture(t *testing.T, analyzerName, fixture string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load(".", dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages from %s, want 1", len(pkgs), dir)
+	}
+	pkg := pkgs[0]
+	for _, e := range pkg.TypeErrors {
+		t.Errorf("fixture must type-check cleanly: %v", e)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	var wants []*wantComment
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &wantComment{
+					file:    pos.Filename,
+					line:    pos.Line,
+					pattern: m[1],
+					re:      regexp.MustCompile(m[1]),
+				})
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments", fixture)
+	}
+
+	analyzers, err := ByName([]string{analyzerName})
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	for _, d := range Run(pkgs, analyzers) {
+		claimed := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no %s diagnostic matching %q", w.file, w.line, analyzerName, w.pattern)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestGoLeakAnalyzer(t *testing.T) {
+	runFixture(t, "goleak", "goleak")
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestLoaderResolvesModuleInternalImports(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "regwidth")
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(".", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	// The fixture imports repro/internal/dataplane; a clean type-check
+	// proves the loader resolved it through the module, not GOPATH.
+	for _, e := range pkg.TypeErrors {
+		t.Errorf("type error: %v", e)
+	}
+	want := "repro/internal/analysis/testdata/src/regwidth"
+	if pkg.Path != want {
+		t.Errorf("import path = %q, want %q", pkg.Path, want)
+	}
+}
+
+func TestLoadRecursiveSkipsTestdata(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walking the analysis package itself must not descend into
+	// testdata: fixtures are inputs, not packages under analysis.
+	pkgs, err := loader.Load(".", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		if filepath.Base(filepath.Dir(p.Dir)) == "testdata" || filepath.Base(p.Dir) == "testdata" {
+			t.Errorf("recursive load descended into testdata: %s", p.Dir)
+		}
+	}
+	if len(pkgs) != 1 {
+		t.Errorf("got %d packages under internal/analysis, want 1 (testdata skipped)", len(pkgs))
+	}
+}
+
+func TestByNameRejectsUnknownAnalyzer(t *testing.T) {
+	if _, err := ByName([]string{"nosuchpass"}); err == nil {
+		t.Fatal("ByName must reject unknown analyzer names")
+	}
+	got, err := ByName([]string{"locks", "regwidth"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "locks" || got[1].Name != "regwidth" {
+		t.Fatalf("ByName resolved %v", got)
+	}
+}

@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LocksAnalyzer enforces the repository's lock discipline: sync
+// primitives must never be copied by value, and a function that takes a
+// mutex must release it on every return path (or defer the release).
+// The control plane, archiver pipeline and collector daemon all share
+// state under these mutexes; a silent copy or a leaked lock turns into
+// a deadlock or a torn read under production load.
+var LocksAnalyzer = &Analyzer{
+	Name: "locks",
+	Doc:  "sync.Mutex/RWMutex copied by value, or Lock() without Unlock on a return path",
+	Run:  runLocks,
+}
+
+func runLocks(pass *Pass) {
+	checkLockCopies(pass)
+	for _, fb := range funcBodies(pass.Pkg.Files) {
+		checkLockPairing(pass, fb)
+	}
+}
+
+// checkLockCopies flags value receivers, value parameters, value
+// results and copying assignments whose type holds lock state.
+func checkLockCopies(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					for _, field := range n.Recv.List {
+						reportLockField(pass, info, field, "receiver")
+					}
+				}
+				if n.Type.Params != nil {
+					for _, field := range n.Type.Params.List {
+						reportLockField(pass, info, field, "parameter")
+					}
+				}
+				if n.Type.Results != nil {
+					for _, field := range n.Type.Results.List {
+						reportLockField(pass, info, field, "result")
+					}
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					if copiesLockValue(info, rhs) {
+						pass.Reportf(rhs.Pos(), "assignment copies lock value: %s has type %s containing a sync primitive",
+							exprString(pass.Pkg.Fset, rhs), info.TypeOf(rhs))
+					}
+				}
+			case *ast.RangeStmt:
+				// for _, v := range xs where elem type contains a lock.
+				if n.Value != nil && n.Tok == token.DEFINE {
+					if t := info.TypeOf(n.Value); t != nil && containsLock(t) {
+						pass.Reportf(n.Value.Pos(), "range clause copies lock value: element type %s contains a sync primitive", t)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func reportLockField(pass *Pass, info *types.Info, field *ast.Field, kind string) {
+	t := info.TypeOf(field.Type)
+	if t == nil || !containsLock(t) {
+		return
+	}
+	pass.Reportf(field.Pos(), "%s passes lock by value: type %s contains a sync primitive (use a pointer)", kind, t)
+}
+
+// copiesLockValue reports whether evaluating rhs copies existing lock
+// state: a dereference, variable, field or index of a lock-containing
+// type. Fresh values (composite literals, function-call results used to
+// construct) are allowed.
+func copiesLockValue(info *types.Info, rhs ast.Expr) bool {
+	t := info.TypeOf(rhs)
+	if t == nil || !containsLock(t) {
+		return false
+	}
+	switch rhs.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// lockEvent is one lock-relevant statement, ordered by source position.
+type lockEvent struct {
+	pos  token.Pos
+	kind int // 0 lock, 1 unlock, 2 deferred unlock, 3 return
+	key  string
+	read bool // RLock/RUnlock
+}
+
+const (
+	evLock = iota
+	evUnlock
+	evDeferUnlock
+	evReturn
+)
+
+// checkLockPairing walks one function body in source order and reports
+// Lock() calls that can reach a return statement while still held.
+// The walk is linear (branch-insensitive), which matches how locks are
+// used in this codebase: short critical sections, unlocks in the same
+// block or deferred.
+func checkLockPairing(pass *Pass, fb funcBody) {
+	var events []lockEvent
+	var collect func(n ast.Node, inDefer bool)
+	collect = func(n ast.Node, inDefer bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				if n != fb.node {
+					return false // nested literals are separate functions
+				}
+			case *ast.DeferStmt:
+				collect(n.Call, true)
+				return false
+			case *ast.ReturnStmt:
+				events = append(events, lockEvent{pos: n.Pos(), kind: evReturn})
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				var ev int
+				read := false
+				switch sel.Sel.Name {
+				case "Lock":
+					ev = evLock
+				case "RLock":
+					ev, read = evLock, true
+				case "Unlock":
+					ev = evUnlock
+				case "RUnlock":
+					ev, read = evUnlock, true
+				default:
+					return true
+				}
+				recv := pass.Pkg.Info.TypeOf(sel.X)
+				if recv == nil || !isLockType(recv) {
+					return true
+				}
+				if inDefer && ev == evUnlock {
+					ev = evDeferUnlock
+				}
+				events = append(events, lockEvent{
+					pos:  n.Pos(),
+					kind: ev,
+					key:  exprString(pass.Pkg.Fset, sel.X),
+					read: read,
+				})
+			}
+			return true
+		})
+	}
+	collect(fb.body, false)
+	if len(events) == 0 {
+		return
+	}
+
+	// Per lock expression: scan events in order, tracking held state.
+	type state struct {
+		held     bool
+		lockPos  token.Pos
+		read     bool
+		deferred bool
+	}
+	states := map[string]*state{}
+	get := func(key string) *state {
+		if s, ok := states[key]; ok {
+			return s
+		}
+		s := &state{}
+		states[key] = s
+		return s
+	}
+	for _, e := range events {
+		switch e.kind {
+		case evLock:
+			s := get(e.key)
+			if s.held && s.read == e.read && !e.read {
+				pass.Reportf(e.pos, "%s.Lock() while already held (locked at %s) in %s: recursive locking deadlocks",
+					e.key, pass.Pkg.Fset.Position(s.lockPos), fb.name)
+			}
+			s.held, s.lockPos, s.read = true, e.pos, e.read
+		case evUnlock:
+			get(e.key).held = false
+		case evDeferUnlock:
+			s := get(e.key)
+			s.deferred = true
+			s.held = false
+		case evReturn:
+			for key, s := range states {
+				if s.held && !s.deferred {
+					verb := "Unlock"
+					if s.read {
+						verb = "RUnlock"
+					}
+					pass.Reportf(s.lockPos, "%s locked in %s but a return at %s is reachable without %s.%s() (add defer %s.%s())",
+						key, fb.name, pass.Pkg.Fset.Position(e.pos), key, verb, key, verb)
+					s.held = false // report once per lock site
+				}
+			}
+		}
+	}
+	// Function end with lock still held and no unlock anywhere.
+	for key, s := range states {
+		if s.held && !s.deferred {
+			verb := "Unlock"
+			if s.read {
+				verb = "RUnlock"
+			}
+			pass.Reportf(s.lockPos, "%s locked in %s with no %s.%s() on any path", key, fb.name, key, verb)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestLocksAnalyzer(t *testing.T) {
+	runFixture(t, "locks", "locks")
+}

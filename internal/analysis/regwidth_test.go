@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestRegWidthAnalyzer(t *testing.T) {
+	runFixture(t, "regwidth", "regwidth")
+}

@@ -1,0 +1,109 @@
+// Package goleak is a fixture for the goleak analyzer: goroutines
+// running unbounded loops with no way to be told to stop.
+package goleak
+
+import "sync"
+
+func work() {}
+
+func step() error { return nil }
+
+func stop() bool { return false }
+
+// spin loops forever with no exit; launching it as a goroutine leaks.
+func spin() {
+	for {
+		work()
+	}
+}
+
+type looper struct{}
+
+func (looper) run() {
+	for {
+		work()
+	}
+}
+
+// badLiteral launches an unbounded anonymous loop.
+func badLiteral() {
+	go func() { // want "goroutine literal loops forever with no cancellation signal"
+		for {
+			work()
+		}
+	}()
+}
+
+// badNamed launches a same-package function that never returns.
+func badNamed() {
+	go spin() // want "goroutine spin loops forever with no cancellation signal"
+}
+
+// badMethod launches a method whose body loops forever.
+func badMethod(l looper) {
+	go l.run() // want "goroutine run loops forever with no cancellation signal"
+}
+
+// goodSelectDone watches a done channel through select.
+func goodSelectDone(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// goodChannelReceive blocks on a receive: it ends when the channel
+// closes.
+func goodChannelReceive(done chan struct{}) {
+	go func() {
+		<-done
+		work()
+	}()
+}
+
+// goodBreakEscape can leave the loop.
+func goodBreakEscape() {
+	go func() {
+		for {
+			if stop() {
+				break
+			}
+			work()
+		}
+	}()
+}
+
+// goodErrorReturn is the accept-loop idiom: returns when the listener
+// closes.
+func goodErrorReturn() {
+	go func() {
+		for {
+			if err := step(); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// goodRangeChannel drains a channel until it closes.
+func goodRangeChannel(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// goodWaitGroup participates in a WaitGroup, so the owner tracks it.
+func goodWaitGroup(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}

@@ -1,0 +1,96 @@
+// Package locks is a fixture for the locks analyzer: mutexes copied by
+// value and Lock calls that can leak across a return path.
+package locks
+
+import "sync"
+
+// Guarded embeds a mutex by value, so copying it copies lock state.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// badValueReceiver copies the receiver's mutex on every call.
+func (g Guarded) badValueReceiver() int { // want "receiver passes lock by value"
+	return g.n
+}
+
+// goodPointerReceiver takes the lock through a pointer: no copy.
+func (g *Guarded) goodPointerReceiver() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// badParam receives a lock-bearing struct by value.
+func badParam(g Guarded) int { // want "parameter passes lock by value"
+	return g.n
+}
+
+// badAssignCopy copies a lock-bearing value out of a pointer.
+func badAssignCopy(g *Guarded) int {
+	snapshot := *g // want "assignment copies lock value"
+	return snapshot.n
+}
+
+// badRangeCopy copies each element's mutex into the loop variable.
+func badRangeCopy(gs []Guarded) int {
+	total := 0
+	for _, g := range gs { // want "range clause copies lock value"
+		total += g.n
+	}
+	return total
+}
+
+// badLockNoUnlock takes the lock and never releases it.
+func badLockNoUnlock(g *Guarded) int {
+	g.mu.Lock() // want "reachable without g.mu.Unlock"
+	return g.n
+}
+
+// badEarlyReturn releases on the happy path but not on the early one.
+func badEarlyReturn(g *Guarded, skip bool) int {
+	g.mu.Lock() // want "return at .* is reachable without g.mu.Unlock"
+	if skip {
+		return 0
+	}
+	n := g.n
+	g.mu.Unlock()
+	return n
+}
+
+// goodDefer releases on every path via defer.
+func goodDefer(g *Guarded, skip bool) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if skip {
+		return 0
+	}
+	return g.n
+}
+
+// goodPaired unlocks before each return in source order.
+func goodPaired(g *Guarded, skip bool) int {
+	g.mu.Lock()
+	if skip {
+		g.mu.Unlock()
+		return 0
+	}
+	n := g.n
+	g.mu.Unlock()
+	return n
+}
+
+// goodRWLock pairs RLock with a deferred RUnlock.
+func goodRWLock(mu *sync.RWMutex, n *int) int {
+	mu.RLock()
+	defer mu.RUnlock()
+	return *n
+}
+
+// badRLockLeak reads under RLock but forgets to release before
+// returning.
+func badRLockLeak(mu *sync.RWMutex, n *int) int {
+	mu.RLock() // want "reachable without mu.RUnlock"
+	return *n
+}

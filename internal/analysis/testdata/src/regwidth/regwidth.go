@@ -1,0 +1,74 @@
+// Package regwidth is a fixture for the regwidth analyzer: masks,
+// shifts and conversions that disagree with a register's declared bit
+// width.
+package regwidth
+
+import "repro/internal/dataplane"
+
+// tsReg models the 48-bit Tofino ingress timestamp register.
+var tsReg = dataplane.NewRegisterWidth("ts", 16, 48)
+
+// flagReg models a 1-bit seen/announced flag register.
+var flagReg = dataplane.NewRegisterWidth("flag", 16, 1)
+
+// wideReg keeps the default 64-bit cells: nothing can violate it.
+var wideReg = dataplane.NewRegister("wide", 16)
+
+// badConstTooWide writes a constant that needs more bits than declared.
+func badConstTooWide() {
+	flagReg.Write(0, 2) // want "needs 2 bits but register flagReg is declared 1 bits wide"
+}
+
+// badShiftedWrite shifts a runtime value past the declared width before
+// storing it, so every bit lands outside the cell.
+func badShiftedWrite(v uint64) {
+	tsReg.Write(0, v<<48) // want "left shift by 48"
+}
+
+// badMaskBeyondWidth masks a read with bits the register cannot hold.
+func badMaskBeyondWidth() uint64 {
+	return tsReg.Read(0) & 0xFF_FFFF_FFFF_FFFF // want "selects bits beyond register tsReg"
+}
+
+// badShiftPastWidth discards every declared bit.
+func badShiftPastWidth() uint64 {
+	return tsReg.Read(0) >> 48 // want "right shift by 48 discards"
+}
+
+// badNarrowConversion truncates the 48-bit value to 32 bits.
+func badNarrowConversion() uint32 {
+	return uint32(tsReg.Read(0)) // want "conversion to uint32 truncates register tsReg"
+}
+
+// goodFittingConst stores a value inside the declared width.
+func goodFittingConst() {
+	flagReg.Write(0, 1)
+	tsReg.Write(1, 0xFFFF_FFFF_FFFF) // exactly 48 bits
+}
+
+// goodMaskWithinWidth selects only declared bits.
+func goodMaskWithinWidth() uint64 {
+	return tsReg.Read(0) & 0xFFFF
+}
+
+// goodShiftWithinWidth keeps high declared bits.
+func goodShiftWithinWidth() uint64 {
+	return tsReg.Read(0) >> 16
+}
+
+// goodWideConversion converts to a type at least as wide.
+func goodWideConversion() uint64 {
+	return uint64(tsReg.Read(0))
+}
+
+// goodDynamicValue: runtime values without a shift are not provably
+// wrong, so they pass (the hardware masks them).
+func goodDynamicValue(iat uint64) {
+	tsReg.Max(0, iat)
+}
+
+// goodFullWidthRegister: 64-bit registers accept anything.
+func goodFullWidthRegister() uint64 {
+	wideReg.Write(0, ^uint64(0))
+	return wideReg.Read(0) >> 32
+}

@@ -1,0 +1,81 @@
+// Package timeunits is a fixture for the timeunits analyzer: bare
+// numbers standing in for nanosecond quantities and mis-scaled unit
+// conversions.
+package timeunits
+
+import (
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// Config mirrors the option structs the pipeline uses.
+type Config struct {
+	Timeout time.Duration
+	Window  simtime.Time
+}
+
+// badBareLiteralField assigns a raw number where a duration belongs.
+func badBareLiteralField() Config {
+	return Config{
+		Timeout: 5000, // want "bare constant 5000 used as time.Duration"
+		Window:  7500, // want "bare constant 7500"
+	}
+}
+
+// badBareArg passes a bare literal as a sleep duration.
+func badBareArg() {
+	time.Sleep(250) // want "bare constant 250 used as time.Duration"
+}
+
+// goodUnitArg scales with a unit constant.
+func goodUnitArg() {
+	time.Sleep(250 * time.Millisecond)
+}
+
+// goodScalarDivision uses the constant as a dimensionless divisor.
+func goodScalarDivision(d time.Duration) time.Duration {
+	return d / 2
+}
+
+// goodZero: zero needs no unit.
+func goodZero() Config {
+	return Config{Timeout: 0, Window: 0}
+}
+
+// badDurationSquared multiplies two time quantities.
+func badDurationSquared(a, b time.Duration) time.Duration {
+	return a * b // want "multiplying two time quantities"
+}
+
+// goodScaleIdiom is the stdlib idiom: conversion-from-integer times a
+// unit held in a variable.
+func goodScaleIdiom(n int, unit simtime.Time) simtime.Time {
+	return simtime.Time(n) * unit
+}
+
+// badMsConversion treats a millisecond count as nanoseconds.
+func badMsConversion(intervalMs int64) time.Duration {
+	return time.Duration(intervalMs) // want "named in milliseconds as nanoseconds"
+}
+
+// goodMsConversion rescales the millisecond count properly.
+func goodMsConversion(intervalMs int64) time.Duration {
+	return time.Duration(intervalMs) * time.Millisecond
+}
+
+// badSecConversion treats a second count as simulation nanoseconds.
+func badSecConversion(timeoutSec int) simtime.Time {
+	return simtime.Time(timeoutSec) // want "named in seconds as nanoseconds"
+}
+
+// goodMinIsMinimum: "min" means minimum in measurement code, not
+// minutes — no diagnostic.
+func goodMinIsMinimum(min float64) simtime.Time {
+	return simtime.Time(min)
+}
+
+// goodSentinel: negative constants are sentinels, not durations.
+func goodSentinel() simtime.Time {
+	return simtime.Time(-1)
+}

@@ -1,0 +1,69 @@
+// Package uncheckederr is a fixture for the uncheckederr analyzer:
+// call statements that silently drop an error result.
+package uncheckederr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// sink mimics an export path whose Close can fail.
+type sink struct{}
+
+func (sink) Close() error { return nil }
+
+func mightFail() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func noError() int { return 0 }
+
+// badDroppedMethodError discards a Close error on the export path.
+func badDroppedMethodError(s sink) {
+	s.Close() // want "error return of s.Close is dropped"
+}
+
+// badDroppedFuncError discards a plain error result.
+func badDroppedFuncError() {
+	mightFail() // want "error return of mightFail is dropped"
+}
+
+// badDroppedTupleError discards the error half of a tuple.
+func badDroppedTupleError() {
+	pair() // want "error return of pair is dropped"
+}
+
+// goodExplicitDiscard acknowledges the discard.
+func goodExplicitDiscard() {
+	_ = mightFail()
+}
+
+// goodHandled checks the error.
+func goodHandled() error {
+	if err := mightFail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// goodDeferredCleanup: deferred cleanup discards are idiomatic.
+func goodDeferredCleanup(s sink) {
+	defer s.Close()
+}
+
+// goodFmtPrinting: fmt's print errors are conventionally ignored.
+func goodFmtPrinting() {
+	fmt.Println("status")
+}
+
+// goodNeverFailingWriter: strings.Builder cannot fail.
+func goodNeverFailingWriter() string {
+	var b strings.Builder
+	b.WriteString("x")
+	return b.String()
+}
+
+// goodNoError: calls without an error result are fine as statements.
+func goodNoError() {
+	noError()
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestTimeUnitsAnalyzer(t *testing.T) {
+	runFixture(t, "timeunits", "timeunits")
+}

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// isNamed reports whether t is the named type pkgPath.name (after
+// stripping pointers).
+func isNamed(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// isLockType reports whether t itself is sync.Mutex or sync.RWMutex.
+func isLockType(t types.Type) bool {
+	return isNamed(t, "sync", "Mutex") || isNamed(t, "sync", "RWMutex")
+}
+
+// containsLock reports whether a value of type t holds lock state by
+// value (so copying it copies the lock).
+func containsLock(t types.Type) bool {
+	return containsLockDepth(t, 0)
+}
+
+func containsLockDepth(t types.Type, depth int) bool {
+	if depth > 10 {
+		return false
+	}
+	if isLockType(t) || isNamed(t, "sync", "WaitGroup") || isNamed(t, "sync", "Once") || isNamed(t, "sync", "Cond") {
+		if _, isPtr := t.(*types.Pointer); !isPtr {
+			return true
+		}
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockDepth(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockDepth(u.Elem(), depth+1)
+	}
+	return false
+}
+
+// isDurationType reports whether t is time.Duration.
+func isDurationType(t types.Type) bool { return isNamed(t, "time", "Duration") }
+
+// isSimTime reports whether t is the simulation clock type
+// repro/internal/simtime.Time (matched by package suffix so the
+// analyzer also works on forks with a different module name).
+func isSimTime(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Time" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/simtime")
+}
+
+// isTimeQuantity reports whether t carries nanosecond semantics in this
+// codebase.
+func isTimeQuantity(t types.Type) bool {
+	return isDurationType(t) || isSimTime(t)
+}
+
+// exprString renders an expression compactly, for use as a map key
+// (matching mu in "mu.Lock()" with "mu.Unlock()") and in messages.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+// funcBodies yields every function body in the package together with
+// its name, covering both declarations and literals.
+type funcBody struct {
+	name string
+	node ast.Node // *ast.FuncDecl or *ast.FuncLit
+	body *ast.BlockStmt
+}
+
+func funcBodies(files []*ast.File) []funcBody {
+	var out []funcBody
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					out = append(out, funcBody{name: fn.Name.Name, node: fn, body: fn.Body})
+				}
+			case *ast.FuncLit:
+				out = append(out, funcBody{name: "func literal", node: fn, body: fn.Body})
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestUncheckedErrAnalyzer(t *testing.T) {
+	runFixture(t, "uncheckederr", "uncheckederr")
+}

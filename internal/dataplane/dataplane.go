@@ -191,28 +191,33 @@ func New(cfg Config) *DataPlane {
 	n := cfg.FlowTableSize
 	d := &DataPlane{
 		cfg:        cfg,
+		// Widths mirror the P4 program: Tofino's clock (and therefore
+		// every timestamp and timestamp difference) is 48-bit, flag
+		// registers are single bits, the queue signature packs a 32-bit
+		// flow ID over a 16-bit IP ID, and the paired 32-bit counters
+		// present as full 64-bit cells.
 		bytesReg:   NewRegister("flow_bytes", n),
 		pktsReg:    NewRegister("flow_pkts", n),
 		prevSeqReg: NewRegister("prev_seq", n),
 		pktLossReg: NewRegister("pkt_loss", n),
-		rttReg:     NewRegister("rtt", n),
-		qdelayReg:  NewRegister("qdelay", n),
+		rttReg:     NewRegisterWidth("rtt", n, 48),
+		qdelayReg:  NewRegisterWidth("qdelay", n, 48),
 		highSeqReg: NewRegister("high_seq", n),
 		highAckReg: NewRegister("high_ack", n),
 		flightReg:  NewRegister("flight", n),
 		flightMaxW: NewRegister("flight_max_w", n),
 		flightMinW: NewRegister("flight_min_w", n),
-		lastArrReg: NewRegister("last_arrival", n),
-		maxIATReg:  NewRegister("max_iat_w", n),
-		firstSeen:  NewRegister("first_seen", n),
-		lastSeen:   NewRegister("last_seen", n),
-		finSeenReg: NewRegister("fin_seen", n),
-		announced:  NewRegister("announced", n),
-		ownerLo:    NewRegister("owner_lo", n),
+		lastArrReg: NewRegisterWidth("last_arrival", n, 48),
+		maxIATReg:  NewRegisterWidth("max_iat_w", n, 48),
+		firstSeen:  NewRegisterWidth("first_seen", n, 48),
+		lastSeen:   NewRegisterWidth("last_seen", n, 48),
+		finSeenReg: NewRegisterWidth("fin_seen", n, 1),
+		announced:  NewRegisterWidth("announced", n, 1),
+		ownerLo:    NewRegisterWidth("owner_lo", n, 32),
 		eackSig:    NewRegister("eack_sig", cfg.EACKTableSize),
-		eackTS:     NewRegister("eack_ts", cfg.EACKTableSize),
-		qSig:       NewRegister("qsig", cfg.QSigTableSize),
-		qTS:        NewRegister("qts", cfg.QSigTableSize),
+		eackTS:     NewRegisterWidth("eack_ts", cfg.EACKTableSize, 48),
+		qSig:       NewRegisterWidth("qsig", cfg.QSigTableSize, 48),
+		qTS:        NewRegisterWidth("qts", cfg.QSigTableSize, 48),
 		cms:        NewCMS(cfg.CMSWidth, cfg.CMSDepth),
 		monitorTable: NewTable("monitored_subnets", 256,
 			[]MatchKind{MatchLPM}, []int{32}),

@@ -10,18 +10,47 @@ import "fmt"
 type Register struct {
 	name  string
 	cells []uint64
+	// width is the declared bit width of each cell, 1..64. Cells are
+	// stored as uint64 regardless; the width is the P4-level contract
+	// (Tofino timestamps are 48-bit, flag registers 1-bit) that the
+	// regwidth static-analysis pass checks masks, shifts and
+	// conversions against.
+	width int
 }
 
-// NewRegister allocates a register array.
+// NewRegister allocates a register array of full 64-bit cells.
 func NewRegister(name string, size int) *Register {
+	return NewRegisterWidth(name, size, 64)
+}
+
+// NewRegisterWidth allocates a register array whose cells carry a
+// declared bit width, mirroring the width annotation a P4 register
+// definition carries (e.g. Register<bit<48>, _>). The width is
+// metadata for tooling and the runtime API; storage stays uint64.
+func NewRegisterWidth(name string, size, width int) *Register {
 	if size <= 0 {
 		panic(fmt.Sprintf("dataplane: register %s must have positive size", name))
 	}
-	return &Register{name: name, cells: make([]uint64, size)}
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("dataplane: register %s width %d out of range 1..64", name, width))
+	}
+	return &Register{name: name, cells: make([]uint64, size), width: width}
 }
 
 // Name returns the register's P4 instance name.
 func (r *Register) Name() string { return r.name }
+
+// Width returns the declared bit width of each cell.
+func (r *Register) Width() int { return r.width }
+
+// MaxValue returns the largest value representable in the declared
+// width.
+func (r *Register) MaxValue() uint64 {
+	if r.width >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(r.width)) - 1
+}
 
 // Size returns the number of cells.
 func (r *Register) Size() int { return len(r.cells) }

@@ -114,7 +114,7 @@ func RunExtCoexistence(cfg CoexistenceConfig) *CoexistenceResult {
 		if !ok {
 			return 0
 		}
-		pts := ser.Between(cfg.Duration/2, cfg.Duration+1)
+		pts := ser.Between(cfg.Duration/2, cfg.Duration+simtime.Nanosecond)
 		var sum float64
 		for _, p := range pts {
 			sum += p.V
@@ -150,7 +150,7 @@ func RunExtCoexistence(cfg CoexistenceConfig) *CoexistenceResult {
 // 90% of that peak; it returns the median recovery time. No dips at
 // all reads as zero (instant recovery — bbr-like stability).
 func dipRecoveryTime(s *metrics.Series, warmup simtime.Time) simtime.Time {
-	pts := s.Between(warmup, s.Last().T+1)
+	pts := s.Between(warmup, s.Last().T+simtime.Nanosecond)
 	var recoveries []simtime.Time
 	var peak float64
 	for i := 0; i < len(pts); i++ {

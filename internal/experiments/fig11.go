@@ -156,13 +156,13 @@ func RunFig11(cfg Fig11Config) *Fig11Result {
 		res.PreBurstAggBps /= float64(len(pre))
 	}
 	dip := res.PreBurstAggBps
-	for _, p := range agg.Between(cfg.BurstAt, cfg.Duration+1) {
+	for _, p := range agg.Between(cfg.BurstAt, cfg.Duration+simtime.Nanosecond) {
 		if p.V < dip {
 			dip = p.V
 		}
 	}
 	res.PostBurstDipBps = dip
-	for _, p := range agg.Between(cfg.BurstAt+simtime.Second, cfg.Duration+1) {
+	for _, p := range agg.Between(cfg.BurstAt+simtime.Second, cfg.Duration+simtime.Nanosecond) {
 		if p.V >= 0.9*res.PreBurstAggBps {
 			res.RecoveryTime = p.T - cfg.BurstAt
 			break

@@ -121,7 +121,7 @@ func RunFig12(cfg Fig12Config) *Fig12Result {
 
 	// Steady-state stats over the second half of the run.
 	for dst, ser := range res.Throughput {
-		pts := ser.Between(cfg.Duration/2, cfg.Duration+1)
+		pts := ser.Between(cfg.Duration/2, cfg.Duration+simtime.Nanosecond)
 		if len(pts) == 0 {
 			continue
 		}

@@ -94,7 +94,7 @@ func RunFig9(cfg Fig9Config) *Fig9Result {
 	res.FairShareBps = cfg.Scale.Bottleneck() / 3
 
 	// Converged fairness: mean over the final quarter of the run.
-	tail := res.Fairness.Between(cfg.Duration*3/4, cfg.Duration+1)
+	tail := res.Fairness.Between(cfg.Duration*3/4, cfg.Duration+simtime.Nanosecond)
 	var sum float64
 	for _, p := range tail {
 		sum += p.V
@@ -105,7 +105,7 @@ func RunFig9(cfg Fig9Config) *Fig9Result {
 
 	// Unfair window: how long fairness stayed below 0.9 after the join.
 	var unfairStart, unfairEnd simtime.Time
-	for _, p := range res.Fairness.Between(cfg.JoinAt, cfg.Duration+1) {
+	for _, p := range res.Fairness.Between(cfg.JoinAt, cfg.Duration+simtime.Nanosecond) {
 		if p.V < 0.9 {
 			if unfairStart == 0 {
 				unfairStart = p.T

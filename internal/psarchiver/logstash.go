@@ -30,10 +30,25 @@ type Pipeline struct {
 	// "<prefix>-<kind>". Default "p4-psonar".
 	IndexPrefix string
 
-	// Stats
+	// Stats, guarded by mu: the TCP input writes them from
+	// per-connection goroutines while callers poll. Read via Stats().
+	received uint64
+	dropped  uint64
+	shipped  uint64
+}
+
+// PipelineStats is a consistent snapshot of the pipeline counters.
+type PipelineStats struct {
 	Received uint64
 	Dropped  uint64
 	Shipped  uint64
+}
+
+// Stats returns the current counters under the pipeline lock.
+func (p *Pipeline) Stats() PipelineStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PipelineStats{Received: p.received, Dropped: p.dropped, Shipped: p.shipped}
 }
 
 // NewPipeline builds a pipeline with the standard metadata filter
@@ -84,13 +99,13 @@ func (p *Pipeline) Process(doc Document) {
 	filters := p.filters
 	outputs := p.outputs
 	prefix := p.IndexPrefix
-	p.Received++
+	p.received++
 	p.mu.Unlock()
 
 	for _, f := range filters {
 		if !f(doc) {
 			p.mu.Lock()
-			p.Dropped++
+			p.dropped++
 			p.mu.Unlock()
 			return
 		}
@@ -104,7 +119,7 @@ func (p *Pipeline) Process(doc Document) {
 		o(index, doc)
 	}
 	p.mu.Lock()
-	p.Shipped++
+	p.shipped++
 	p.mu.Unlock()
 }
 
@@ -114,7 +129,7 @@ func (p *Pipeline) Emit(r controlplane.Report) {
 	doc, err := reportToDoc(r)
 	if err != nil {
 		p.mu.Lock()
-		p.Dropped++
+		p.dropped++
 		p.mu.Unlock()
 		return
 	}
@@ -141,11 +156,17 @@ type TCPInput struct {
 	ln       net.Listener
 	wg       sync.WaitGroup
 
-	mu     sync.Mutex
-	closed bool
+	mu       sync.Mutex
+	closed   bool
+	errCount uint64 // undecodable lines, guarded by mu
+}
 
-	// Errors counts undecodable lines.
-	Errors uint64
+// Errors returns the number of undecodable lines seen so far. It is
+// safe to call while connections are being served.
+func (in *TCPInput) Errors() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.errCount
 }
 
 // NewTCPInput starts the plugin listening on addr (e.g.
@@ -189,7 +210,7 @@ func (in *TCPInput) serve(conn net.Conn) {
 		var doc Document
 		if err := json.Unmarshal(line, &doc); err != nil {
 			in.mu.Lock()
-			in.Errors++
+			in.errCount++
 			in.mu.Unlock()
 			continue
 		}

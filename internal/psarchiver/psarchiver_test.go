@@ -103,8 +103,8 @@ func TestPipelineFilterCanDrop(t *testing.T) {
 	p.AddFilter(func(d Document) bool { return d.Str("kind") != "noise" })
 	p.Process(Document{"kind": "noise"})
 	p.Process(Document{"kind": "metric"})
-	if p.Dropped != 1 || p.Shipped != 1 {
-		t.Fatalf("dropped=%d shipped=%d", p.Dropped, p.Shipped)
+	if st := p.Stats(); st.Dropped != 1 || st.Shipped != 1 {
+		t.Fatalf("dropped=%d shipped=%d", st.Dropped, st.Shipped)
 	}
 	if store.Count("p4-psonar-noise") != 0 {
 		t.Fatal("dropped doc reached the store")
@@ -167,8 +167,8 @@ func TestTCPInputIngestsJSONLines(t *testing.T) {
 	if got := store.Count("p4-psonar-metric"); got != 5 {
 		t.Fatalf("ingested %d docs, want 5", got)
 	}
-	if in.Errors != 1 {
-		t.Fatalf("errors=%d, want 1 for the garbage line", in.Errors)
+	if got := in.Errors(); got != 1 {
+		t.Fatalf("errors=%d, want 1 for the garbage line", got)
 	}
 }
 

@@ -59,7 +59,9 @@ func (c Command) Send(addr string, timeout time.Duration) error {
 		return fmt.Errorf("psconfig: connecting to collector: %w", err)
 	}
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(timeout))
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return fmt.Errorf("psconfig: setting deadline: %w", err)
+	}
 
 	enc := json.NewEncoder(conn)
 	if err := enc.Encode(c.ToWire()); err != nil {
@@ -95,7 +97,8 @@ func ServeConfig(ln net.Listener, target Target) {
 			} else if err := cmd.Apply(target); err != nil {
 				resp = WireResponse{Error: err.Error()}
 			}
-			json.NewEncoder(conn).Encode(resp)
+			// Best-effort acknowledgment: the peer may already be gone.
+			_ = json.NewEncoder(conn).Encode(resp)
 		}(conn)
 	}
 }

@@ -23,7 +23,7 @@ func (r *rtoEstimator) init(rtoMin simtime.Time) {
 
 func (r *rtoEstimator) sample(rtt simtime.Time) {
 	if rtt <= 0 {
-		rtt = 1
+		rtt = simtime.Nanosecond
 	}
 	if !r.sampled {
 		r.srtt = rtt
