@@ -1,0 +1,129 @@
+//go:build !race
+
+// Zero-allocation assertions for the per-packet hot path. The race
+// detector instruments allocations, so these run only in the ordinary
+// test configuration (CI's build/test job; the race job skips them).
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/dataplane"
+	"repro/internal/packet"
+	"repro/internal/simtime"
+	"repro/internal/tap"
+)
+
+// allocFlow is the synthetic 5-tuple the assertions drive through the
+// pipeline.
+func allocFlow() packet.FiveTuple {
+	return packet.FiveTuple{
+		SrcIP:   packet.MustAddr("172.16.0.10"),
+		DstIP:   packet.MustAddr("192.168.1.10"),
+		SrcPort: 40000,
+		DstPort: 5201,
+		Proto:   packet.ProtoTCP,
+	}
+}
+
+func assertZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	f() // warm up: first-flow announcements, lazy table growth
+	if avg := testing.AllocsPerRun(200, f); avg != 0 {
+		t.Errorf("%s: %.2f allocs/op, want 0", name, avg)
+	}
+}
+
+// TestAllocFreeDataPlanePerPacket pins the tentpole property: the
+// ingress data path, the ingress ACK path and the egress path allocate
+// nothing per packet once a flow's state exists.
+func TestAllocFreeDataPlanePerPacket(t *testing.T) {
+	dp := dataplane.New(dataplane.Config{})
+	ft := allocFlow()
+	data := packet.NewTCP(ft, 1, 0, packet.FlagACK|packet.FlagPSH, 1448)
+	ack := packet.NewTCP(ft.Reverse(), 1, 1449, packet.FlagACK, 0)
+
+	seq := uint64(1)
+	at := simtime.Millisecond
+	assertZeroAllocs(t, "ingress data", func() {
+		data.SeqExt = seq
+		data.IPID = uint16(seq)
+		seq += 1448
+		at += 10 * simtime.Microsecond
+		dp.ProcessCopy(tap.Copy{Pkt: data, Point: tap.Ingress, At: at})
+	})
+
+	ackNo := uint64(1449)
+	assertZeroAllocs(t, "ingress ack", func() {
+		ack.AckExt = ackNo
+		ackNo += 1448
+		at += 10 * simtime.Microsecond
+		dp.ProcessCopy(tap.Copy{Pkt: ack, Point: tap.Ingress, At: at})
+	})
+
+	assertZeroAllocs(t, "egress", func() {
+		at += 10 * simtime.Microsecond
+		dp.ProcessCopy(tap.Copy{Pkt: data, Point: tap.Egress, At: at})
+	})
+}
+
+// TestAllocFreeFlowHashing pins the key-packing and sketch paths: one
+// KeyOf per packet, every derived hash reading the packed bytes.
+func TestAllocFreeFlowHashing(t *testing.T) {
+	ft := allocFlow()
+	var sink dataplane.FlowID
+	assertZeroAllocs(t, "KeyOf+Hash+Reverse", func() {
+		k := dataplane.KeyOf(ft)
+		sink = k.Hash() ^ k.Reverse().Hash()
+	})
+	cms := dataplane.NewCMS(1024, 4)
+	k := dataplane.KeyOf(ft)
+	assertZeroAllocs(t, "CMS UpdateKey", func() {
+		cms.UpdateKey(k, 1448)
+	})
+	_ = sink
+}
+
+// TestAllocFreeScheduler pins the engine's steady state: scheduling
+// into reserved heap capacity and draining events allocates nothing,
+// and a Timer re-arm reuses its bound callback.
+func TestAllocFreeScheduler(t *testing.T) {
+	e := simtime.NewEngine()
+	e.Reserve(64)
+	fired := 0
+	fn := func() { fired++ }
+	assertZeroAllocs(t, "Schedule+RunAll", func() {
+		for i := 0; i < 16; i++ {
+			e.Schedule(simtime.Time(i%4), fn)
+		}
+		e.RunAll()
+	})
+
+	timer := simtime.NewTimer(e, fn)
+	assertZeroAllocs(t, "Timer Reset cycle", func() {
+		timer.Reset(simtime.Millisecond)
+		timer.Reset(5 * simtime.Millisecond) // lazy re-target: no new event
+		e.RunAll()
+	})
+	if fired == 0 {
+		t.Fatal("callbacks never fired")
+	}
+}
+
+// TestAllocFreePacketPool pins the arena round trip: a Get/Release
+// cycle (and the pooled TCP/UDP constructors) reuse recycled slots.
+func TestAllocFreePacketPool(t *testing.T) {
+	ft := allocFlow()
+	assertZeroAllocs(t, "Get/Release", func() {
+		p := packet.Get()
+		p.Release()
+	})
+	assertZeroAllocs(t, "GetTCP/Release", func() {
+		p := packet.GetTCP(ft, 1, 2, packet.FlagACK, 1448)
+		p.Release()
+	})
+	assertZeroAllocs(t, "GetUDP/Release", func() {
+		p := packet.GetUDP(ft, 512)
+		p.Release()
+	})
+}

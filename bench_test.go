@@ -339,3 +339,74 @@ func BenchmarkEndToEndSystem(b *testing.B) {
 }
 
 func sizeName(n int) string { return strconv.Itoa(n) }
+
+// ---------------------------------------------------------------------
+// Hot-path microbenchmarks (the zero-allocation tentpole; the matching
+// AllocsPerRun assertions live in bench_alloc_test.go)
+// ---------------------------------------------------------------------
+
+// BenchmarkSchedulerPushPop measures the typed 4-ary event heap: a
+// burst of same-instant and staggered events scheduled and drained.
+func BenchmarkSchedulerPushPop(b *testing.B) {
+	e := simtime.NewEngine()
+	e.Reserve(64)
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 16; j++ {
+			e.Schedule(simtime.Time(j%4), fn)
+		}
+		e.RunAll()
+	}
+}
+
+// BenchmarkTimerReset measures the resettable timer's steady state:
+// re-arming per packet the way the TCP RTO does, with one lazily
+// rescheduled engine event chasing the moving deadline.
+func BenchmarkTimerReset(b *testing.B) {
+	e := simtime.NewEngine()
+	e.Reserve(8)
+	t := simtime.NewTimer(e, func() {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Reset(simtime.Millisecond)
+		t.Reset(5 * simtime.Millisecond)
+		e.RunAll()
+	}
+}
+
+// BenchmarkPacketPoolRoundTrip measures the packet arena: a pooled TCP
+// segment built, released and recycled.
+func BenchmarkPacketPoolRoundTrip(b *testing.B) {
+	ft := packet.FiveTuple{
+		SrcIP:   packet.MustAddr("172.16.0.10"),
+		DstIP:   packet.MustAddr("192.168.1.10"),
+		SrcPort: 40000,
+		DstPort: 5201,
+		Proto:   packet.ProtoTCP,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := packet.GetTCP(ft, uint64(i), 0, packet.FlagACK, 1448)
+		p.Release()
+	}
+}
+
+// BenchmarkFlowKeyHash measures the packed-key pipeline: pack once,
+// derive forward and reverse IDs from the bytes.
+func BenchmarkFlowKeyHash(b *testing.B) {
+	ft := packet.FiveTuple{
+		SrcIP:   packet.MustAddr("172.16.0.10"),
+		DstIP:   packet.MustAddr("192.168.1.10"),
+		SrcPort: 40000,
+		DstPort: 5201,
+		Proto:   packet.ProtoTCP,
+	}
+	var sink dataplane.FlowID
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := dataplane.KeyOf(ft)
+		sink = k.Hash() ^ k.Reverse().Hash()
+	}
+	_ = sink
+}

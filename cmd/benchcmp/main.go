@@ -1,0 +1,66 @@
+// Command benchcmp is the benchmark-regression gate. It reads
+// `go test -bench` output on stdin and either records it as a baseline
+// or compares it against a committed one, failing on ns/op regressions:
+//
+//	go test -run '^$' -bench Fig9 -benchmem | benchcmp -write BENCH_2.json
+//	go test -run '^$' -bench Fig9 -benchmem | benchcmp -baseline BENCH_2.json
+//
+// Wall-clock comparisons across different machines are inherently
+// noisy; the -max-regress-pct threshold (default 10) absorbs ordinary
+// jitter while still catching the order-of-magnitude slips a hot-path
+// allocation causes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchcmp"
+)
+
+func main() {
+	write := flag.String("write", "", "record stdin as a baseline JSON file and exit")
+	baseline := flag.String("baseline", "", "committed baseline JSON to compare stdin against")
+	maxPct := flag.Float64("max-regress-pct", 10, "fail when ns/op regresses more than this percentage")
+	notes := flag.String("notes", "", "free-form provenance note stored with -write")
+	flag.Parse()
+
+	current, err := benchcmp.Parse(os.Stdin)
+	if err != nil {
+		fatal("reading benchmark output: %v", err)
+	}
+	if len(current) == 0 {
+		fatal("no benchmark results on stdin (run go test -bench ... -benchmem | benchcmp)")
+	}
+
+	switch {
+	case *write != "":
+		b := benchcmp.Baseline{Notes: *notes, Benchmarks: current}
+		if err := benchcmp.WriteBaseline(*write, b); err != nil {
+			fatal("writing %s: %v", *write, err)
+		}
+		fmt.Printf("benchcmp: recorded %d benchmarks to %s\n", len(current), *write)
+	case *baseline != "":
+		base, err := benchcmp.LoadBaseline(*baseline)
+		if err != nil {
+			fatal("%v", err)
+		}
+		deltas := benchcmp.Compare(base.Benchmarks, current)
+		if len(deltas) == 0 {
+			fatal("no benchmarks shared between %s and stdin", *baseline)
+		}
+		bad := benchcmp.Report(os.Stdout, deltas, *maxPct)
+		if len(bad) > 0 {
+			fatal("%d benchmark(s) regressed more than %.0f%% ns/op", len(bad), *maxPct)
+		}
+		fmt.Printf("benchcmp: %d benchmarks within %.0f%% of %s\n", len(deltas), *maxPct, *baseline)
+	default:
+		fatal("one of -write or -baseline is required")
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchcmp: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -2,18 +2,22 @@
 //
 // Usage:
 //
-//	p4psonar run [-paper] [-out DIR] [-seed N] table1|fig9|fig10|fig11|fig12|fig13|fig14|all
+//	p4psonar run [-paper] [-out DIR] [-seed N] [-cpuprofile F] [-memprofile F] table1|fig9|fig10|fig11|fig12|fig13|fig14|all
 //
 // By default experiments run at fast scale (1/20 bandwidth, identical
 // RTTs and shapes); -paper runs the full 10 Gbps testbed parameters.
 // Each experiment prints its panels as ASCII charts and, with -out,
-// writes CSV series for external plotting.
+// writes CSV series for external plotting. -cpuprofile and -memprofile
+// capture pprof profiles over the selected experiments (see README's
+// Profiling section).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/experiments"
 )
@@ -27,6 +31,8 @@ func main() {
 	paper := fs.Bool("paper", false, "run at full 10 Gbps paper scale (slow)")
 	out := fs.String("out", "", "directory for CSV output (optional)")
 	seed := fs.Uint64("seed", 42, "simulation seed")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile over the selected experiments to this file")
+	memprofile := fs.String("memprofile", "", "write an allocation profile taken after the experiments to this file")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2) // flag.ExitOnError has already printed the problem
 	}
@@ -35,6 +41,19 @@ func main() {
 	if len(targets) == 0 {
 		usage()
 		os.Exit(2)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p4psonar:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "p4psonar:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 	scale := experiments.Fast()
 	if *paper {
@@ -99,8 +118,24 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p4psonar:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		// The allocation profile samples every heap allocation site since
+		// process start; GC first so live-heap numbers are meaningful too.
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "p4psonar:", err)
+			os.Exit(1)
+		}
+	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: p4psonar run [-paper] [-out DIR] [-seed N] table1|fig9|fig10|fig11|fig12|fig13|fig14|coexistence|all`)
+	fmt.Fprintln(os.Stderr, `usage: p4psonar run [-paper] [-out DIR] [-seed N] [-cpuprofile F] [-memprofile F] table1|fig9|fig10|fig11|fig12|fig13|fig14|coexistence|all`)
 }

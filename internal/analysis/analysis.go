@@ -67,6 +67,7 @@ func All() []*Analyzer {
 		RegWidthAnalyzer,
 		UncheckedErrAnalyzer,
 		GoLeakAnalyzer,
+		HotAllocAnalyzer,
 	}
 }
 

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotAllocAnalyzer polices the zero-allocation contract of functions
+// annotated `p4:hotpath` in their doc comment — the per-packet pipeline
+// (scheduler, packet arena, data-plane hashing) whose benchmarks assert
+// testing.AllocsPerRun == 0. Inside an annotated function it reports:
+//
+//   - append whose result is not assigned back to the slice it extends
+//     (the capacity-reuse idiom `x = append(x, ...)` and appends into a
+//     locally trimmed buffer `buf := x[:0]; append(buf, ...)` are the
+//     accepted amortised-zero patterns; anything else builds a fresh
+//     backing array);
+//   - map composite literals and make(map[...]...), which always
+//     allocate — hot state belongs in preallocated registers or arrays;
+//   - net/netip rendering calls (String, MarshalText, AppendTo, ...)
+//     and fmt.Sprintf-family formatting, the allocations the packed
+//     FlowKey refactor removed from the per-packet path.
+//
+// Allocations inside panic arguments are exempt: a panic path aborts
+// the simulation, so its cost never lands on a packet.
+//
+// Functions without the annotation are not inspected: the pass guards
+// the declared hot path, it does not ban allocation generally.
+var HotAllocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "allocations (append growth, map literals, netip/fmt rendering) inside p4:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+// netipAllocMethods are net/netip methods that build strings or byte
+// slices per call.
+var netipAllocMethods = map[string]bool{
+	"String": true, "StringExpanded": true, "MarshalText": true,
+	"MarshalBinary": true, "AppendTo": true,
+}
+
+// fmtAllocFuncs are fmt entry points that return freshly built strings
+// or errors.
+var fmtAllocFuncs = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+}
+
+func runHotAlloc(pass *Pass) {
+	info := pass.Pkg.Info
+	parents := pass.Pkg.Parents()
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Doc == nil {
+				continue
+			}
+			if !strings.Contains(fn.Doc.Text(), "p4:hotpath") {
+				continue
+			}
+			checkHotFunc(pass, info, parents, fn)
+		}
+	}
+}
+
+func checkHotFunc(pass *Pass, info *types.Info, parents parentMap, fn *ast.FuncDecl) {
+	recycled := recycledSlices(info, fn.Body)
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[e]; ok && !inPanicArg(info, parents, e) {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(e.Pos(), "map literal allocates in p4:hotpath function %s; hoist the map out of the per-packet path", name)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, info, parents, recycled, name, e)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, info *types.Info, parents parentMap, recycled map[types.Object]bool, name string, call *ast.CallExpr) {
+	if inPanicArg(info, parents, call) {
+		return
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj := info.Uses[fun]
+		if b, ok := obj.(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				if !appendReusesCapacity(pass, info, parents, recycled, call) {
+					pass.Reportf(call.Pos(), "append result is not assigned back to its base slice in p4:hotpath function %s: growth allocates a fresh backing array; reuse capacity (x = append(x, ...)) or hoist the buffer", name)
+				}
+			case "make":
+				if tv, ok := info.Types[call]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						pass.Reportf(call.Pos(), "make(map) allocates in p4:hotpath function %s; hot state belongs in preallocated registers or arrays", name)
+					}
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return
+		}
+		switch {
+		case fn.Pkg().Path() == "net/netip" && netipAllocMethods[fn.Name()]:
+			pass.Reportf(call.Pos(), "netip %s call allocates in p4:hotpath function %s; pack addresses once (FlowKey) or cache the rendered form", fn.Name(), name)
+		case fn.Pkg().Path() == "fmt" && fmtAllocFuncs[fn.Name()]:
+			pass.Reportf(call.Pos(), "fmt.%s allocates in p4:hotpath function %s; format off the per-packet path and cache the result", fn.Name(), name)
+		}
+	}
+}
+
+// inPanicArg reports whether n sits inside the arguments of a panic
+// call: that path aborts the run, so its allocations are cold.
+func inPanicArg(info *types.Info, parents parentMap, n ast.Node) bool {
+	for cur := ast.Node(nil); ; n = cur {
+		cur = parents[n]
+		if cur == nil {
+			return false
+		}
+		if _, isStmt := cur.(ast.Stmt); isStmt {
+			return false
+		}
+		if call, ok := cur.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					return true
+				}
+			}
+		}
+	}
+}
+
+// recycledSlices collects local variables initialised from a slice trim
+// (buf := x[:0] or buf := x[:n]): appending into one reuses retained
+// capacity, the packet arena's idiom for SACK/INT scratch.
+func recycledSlices(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			se, ok := rhs.(*ast.SliceExpr)
+			if !ok || se.High == nil {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil {
+					out[obj] = true
+				} else if obj := info.Uses[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// appendReusesCapacity reports whether the append call follows one of
+// the amortised-zero idioms: its result is assigned back to the slice
+// it extends (after unwrapping a trim like x[:0]), or its base is a
+// local recycled-capacity buffer.
+func appendReusesCapacity(pass *Pass, info *types.Info, parents parentMap, recycled map[types.Object]bool, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	base := call.Args[0]
+	if se, ok := base.(*ast.SliceExpr); ok {
+		base = se.X
+	}
+	if id, ok := base.(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil && recycled[obj] {
+			return true
+		}
+	}
+	as, ok := parents[call].(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for i, rhs := range as.Rhs {
+		if rhs != call || i >= len(as.Lhs) {
+			continue
+		}
+		if exprString(pass.Pkg.Fset, as.Lhs[i]) == exprString(pass.Pkg.Fset, base) {
+			return true
+		}
+	}
+	return false
+}

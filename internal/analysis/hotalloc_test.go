@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestHotAllocAnalyzer(t *testing.T) {
+	runFixture(t, "hotalloc", "hotalloc")
+}

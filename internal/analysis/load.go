@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -18,7 +19,7 @@ type Package struct {
 	// Path is the import path ("repro/internal/dataplane").
 	Path string
 	// Dir is the package directory on disk.
-	Dir string
+	Dir  string
 	Fset *token.FileSet
 	// Files holds the package's non-test source files.
 	Files []*ast.File
@@ -175,11 +176,21 @@ func hasGoFiles(dir string) bool {
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") && matchesBuild(dir, name) {
 			return true
 		}
 	}
 	return false
+}
+
+// matchesBuild reports whether a file belongs to the default build
+// configuration. p4lint analyzes the same file set `go build` compiles:
+// //go:build expressions (race-only fallbacks, platform files) and
+// GOOS/GOARCH filename suffixes are honored, so alternate-tag twins of a
+// declaration don't show up as redeclarations.
+func matchesBuild(dir, name string) bool {
+	ok, err := build.Default.MatchFile(dir, name)
+	return err == nil && ok
 }
 
 // importPathFor maps a directory inside the module to its import path.
@@ -246,6 +257,9 @@ func (l *Loader) loadPackage(path, dir string) (*Package, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
+		if !matchesBuild(dir, name) {
+			continue
+		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: parsing %s: %w", filepath.Join(dir, name), err)
@@ -260,9 +274,9 @@ func (l *Loader) loadPackage(path, dir string) (*Package, error) {
 	})
 
 	pkg := &Package{
-		Path: path,
-		Dir:  dir,
-		Fset: l.Fset,
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.Fset,
 		Files: files,
 		Info: &types.Info{
 			Types:      make(map[ast.Expr]types.TypeAndValue),

@@ -51,6 +51,33 @@ func TestLoadRecursiveSkipsTestdata(t *testing.T) {
 	}
 }
 
+func TestLoadHonorsBuildConstraints(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// internal/packet carries a //go:build race twin of pool_norace.go;
+	// the loader must pick the same file go build does, or the pair
+	// type-checks as a redeclaration.
+	pkgs, err := loader.Load(".", "../packet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	for _, e := range pkg.TypeErrors {
+		t.Errorf("type error: %v", e)
+	}
+	for _, f := range pkg.Files {
+		name := filepath.Base(pkg.Fset.Position(f.Pos()).Filename)
+		if name == "pool_race.go" {
+			t.Error("loader included the race-tagged pool_race.go")
+		}
+	}
+}
+
 func TestByNameRejectsUnknownAnalyzer(t *testing.T) {
 	if _, err := ByName([]string{"nosuchpass"}); err == nil {
 		t.Fatal("ByName must reject unknown analyzer names")

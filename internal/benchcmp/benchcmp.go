@@ -1,0 +1,164 @@
+// Package benchcmp parses `go test -bench` output and compares runs
+// against a committed baseline — the benchmark-regression gate wired
+// into `make benchcmp` and the CI bench job. It understands the subset
+// of the benchmark format the gate needs: ns/op and allocs/op.
+package benchcmp
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measured cost.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Iterations is the b.N the run settled on, kept for context.
+	Iterations int64 `json:"iterations,omitempty"`
+}
+
+// Baseline is the committed reference file (BENCH_2.json): the measured
+// results keyed by benchmark name, plus free-form notes describing the
+// machine and command that produced them.
+type Baseline struct {
+	Notes      string            `json:"notes,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// Parse reads `go test -bench` text output and returns results keyed by
+// benchmark name with the -cpu suffix stripped (Benchmark runs report as
+// "BenchmarkName-8"; the gate compares across machines, so core count is
+// noise). Non-benchmark lines are ignored.
+func Parse(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Shortest valid line: name, iterations, value, "ns/op".
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Iterations: iters}
+		found := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+				found = true
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		if found {
+			out[name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LoadBaseline reads a committed baseline JSON file.
+func LoadBaseline(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("benchcmp: parsing %s: %w", path, err)
+	}
+	if b.Benchmarks == nil {
+		return b, fmt.Errorf("benchcmp: %s has no benchmarks", path)
+	}
+	return b, nil
+}
+
+// WriteBaseline marshals a baseline to path, sorted and indented so the
+// committed file diffs cleanly.
+func WriteBaseline(path string, b Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Delta is one benchmark's comparison against the baseline.
+type Delta struct {
+	Name           string
+	BaselineNs     float64
+	CurrentNs      float64
+	NsChangePct    float64 // positive = slower than baseline
+	BaselineAllocs float64
+	CurrentAllocs  float64
+}
+
+// Regressed reports whether the benchmark got more than maxPct slower.
+func (d Delta) Regressed(maxPct float64) bool { return d.NsChangePct > maxPct }
+
+// Compare matches current results against the baseline by name and
+// returns deltas sorted by name. Benchmarks present on only one side
+// are skipped: the gate judges shared exhibits, not coverage.
+func Compare(baseline, current map[string]Result) []Delta {
+	var out []Delta
+	for name, base := range baseline {
+		cur, ok := current[name]
+		if !ok || base.NsPerOp == 0 {
+			continue
+		}
+		out = append(out, Delta{
+			Name:           name,
+			BaselineNs:     base.NsPerOp,
+			CurrentNs:      cur.NsPerOp,
+			NsChangePct:    (cur.NsPerOp - base.NsPerOp) / base.NsPerOp * 100,
+			BaselineAllocs: base.AllocsPerOp,
+			CurrentAllocs:  cur.AllocsPerOp,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Report renders the comparison and returns the regressions that exceed
+// maxPct. A negative change means the current run is faster.
+func Report(w io.Writer, deltas []Delta, maxPct float64) []Delta {
+	var bad []Delta
+	for _, d := range deltas {
+		mark := "ok"
+		if d.Regressed(maxPct) {
+			mark = "REGRESSED"
+			bad = append(bad, d)
+		}
+		fmt.Fprintf(w, "%-40s %14.0f -> %14.0f ns/op  %+7.1f%%  (allocs %0.f -> %0.f)  %s\n",
+			d.Name, d.BaselineNs, d.CurrentNs, d.NsChangePct,
+			d.BaselineAllocs, d.CurrentAllocs, mark)
+	}
+	return bad
+}

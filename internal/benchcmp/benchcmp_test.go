@@ -1,0 +1,105 @@
+package benchcmp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkFig9PerFlow-8   	       1	2400000000 ns/op	         0.970 fairness	 1200000 B/op	    9000 allocs/op
+BenchmarkTable1Comparison-8      1	4500000000 ns/op	        40 passive-samples	 2000000 B/op	   12000 allocs/op
+BenchmarkNoAllocInfo-8           5	 100 ns/op
+PASS
+ok  	repro	7.1s
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig9, ok := got["BenchmarkFig9PerFlow"]
+	if !ok {
+		t.Fatalf("Fig9 missing (got %v)", got)
+	}
+	if fig9.NsPerOp != 2.4e9 || fig9.AllocsPerOp != 9000 || fig9.Iterations != 1 {
+		t.Fatalf("Fig9 parsed wrong: %+v", fig9)
+	}
+	// Custom ReportMetric units (fairness, passive-samples) must not be
+	// mistaken for ns/op or allocs/op.
+	t1 := got["BenchmarkTable1Comparison"]
+	if t1.NsPerOp != 4.5e9 || t1.AllocsPerOp != 12000 {
+		t.Fatalf("Table1 parsed wrong: %+v", t1)
+	}
+	// A line with only ns/op still parses; allocs default to zero.
+	if n := got["BenchmarkNoAllocInfo"]; n.NsPerOp != 100 || n.AllocsPerOp != 0 {
+		t.Fatalf("minimal line parsed wrong: %+v", n)
+	}
+}
+
+func TestParseStripsCPUSuffixOnly(t *testing.T) {
+	// A benchmark whose name legitimately ends in a dash-number from
+	// b.Run (e.g. a size sub-benchmark) still loses only the -cpu part.
+	got, err := Parse(strings.NewReader("BenchmarkAblationCMS/512-8  3  1000 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got["BenchmarkAblationCMS/512"]; !ok {
+		t.Fatalf("sub-benchmark name mangled: %v", got)
+	}
+}
+
+func TestCompareAndReport(t *testing.T) {
+	baseline := map[string]Result{
+		"BenchmarkA":    {NsPerOp: 1000, AllocsPerOp: 10},
+		"BenchmarkB":    {NsPerOp: 1000, AllocsPerOp: 10},
+		"BenchmarkGone": {NsPerOp: 500},
+	}
+	current := map[string]Result{
+		"BenchmarkA":   {NsPerOp: 1050, AllocsPerOp: 0},  // +5%: within gate
+		"BenchmarkB":   {NsPerOp: 1200, AllocsPerOp: 10}, // +20%: regression
+		"BenchmarkNew": {NsPerOp: 1},
+	}
+	deltas := Compare(baseline, current)
+	if len(deltas) != 2 {
+		t.Fatalf("expected 2 shared benchmarks, got %d: %v", len(deltas), deltas)
+	}
+	var sb strings.Builder
+	bad := Report(&sb, deltas, 10)
+	if len(bad) != 1 || bad[0].Name != "BenchmarkB" {
+		t.Fatalf("expected only BenchmarkB to regress, got %v", bad)
+	}
+	if !strings.Contains(sb.String(), "REGRESSED") {
+		t.Fatalf("report missing REGRESSED marker:\n%s", sb.String())
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	want := Baseline{
+		Notes:      "test",
+		Benchmarks: map[string]Result{"BenchmarkA": {NsPerOp: 42, AllocsPerOp: 7, Iterations: 3}},
+	}
+	if err := WriteBaseline(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmarks["BenchmarkA"] != want.Benchmarks["BenchmarkA"] || got.Notes != "test" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if _, err := LoadBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	os.WriteFile(empty, []byte("{}"), 0o644)
+	if _, err := LoadBaseline(empty); err == nil {
+		t.Fatal("expected error for baseline without benchmarks")
+	}
+}

@@ -90,6 +90,15 @@ type flowEntry struct {
 	tuple packet.FiveTuple
 	since simtime.Time
 
+	// Rendered report fields, cached at announcement time: the tuple is
+	// immutable for the flow's lifetime, so formatting it once keeps the
+	// per-tick reporting loops free of fmt/netip allocations.
+	idHex    string
+	revHex   string
+	srcIPStr string
+	dstIPStr string
+	protoStr string
+
 	// Previous cumulative counters per derived metric, for windowed
 	// deltas.
 	prevBytes    uint64
@@ -125,6 +134,12 @@ type ControlPlane struct {
 	// AlertLog collects alerts for the administrator console, in
 	// addition to the sink records.
 	AlertLog []Report
+
+	// Scratch buffers reused across extraction ticks. sortedFlows and
+	// extract never nest their uses (aggregation runs after the read
+	// loop completes), so a single buffer of each kind suffices.
+	flowScratch []*flowEntry
+	tputScratch []float64
 
 	started bool
 }
@@ -205,10 +220,15 @@ func (cp *ControlPlane) onLongFlow(ev dataplane.LongFlowEvent) {
 		return
 	}
 	cp.flows[ev.ID] = &flowEntry{
-		id:    ev.ID,
-		revID: ev.RevID,
-		tuple: ev.Tuple,
-		since: ev.At,
+		id:       ev.ID,
+		revID:    ev.RevID,
+		tuple:    ev.Tuple,
+		since:    ev.At,
+		idHex:    fmt.Sprintf("%08x", uint32(ev.ID)),
+		revHex:   fmt.Sprintf("%08x", uint32(ev.RevID)),
+		srcIPStr: ev.Tuple.SrcIP.String(),
+		dstIPStr: ev.Tuple.DstIP.String(),
+		protoStr: ev.Tuple.Proto.String(),
 	}
 }
 
@@ -237,13 +257,16 @@ func (cp *ControlPlane) occupancyPct(qdelay simtime.Time) float64 {
 	return float64(qdelay) / drainNs * 100
 }
 
-// sortedFlows returns directory entries in a deterministic order.
+// sortedFlows returns directory entries in a deterministic order. The
+// returned slice aliases a scratch buffer that the next call overwrites;
+// callers iterate it to completion before triggering another call.
 func (cp *ControlPlane) sortedFlows() []*flowEntry {
-	out := make([]*flowEntry, 0, len(cp.flows))
+	out := cp.flowScratch[:0]
 	for _, f := range cp.flows {
 		out = append(out, f)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	cp.flowScratch = out
 	return out
 }
 
@@ -252,7 +275,7 @@ func (cp *ControlPlane) sortedFlows() []*flowEntry {
 // apply the alert policy.
 func (cp *ControlPlane) extract(m Metric, now simtime.Time) {
 	maxValue := 0.0
-	var throughputs []float64
+	throughputs := cp.tputScratch[:0]
 
 	for _, f := range cp.sortedFlows() {
 		snap := cp.dp.ReadFlow(f.id, f.revID)
@@ -314,17 +337,18 @@ func (cp *ControlPlane) extract(m Metric, now simtime.Time) {
 			Metric:  m,
 			Value:   value,
 			Unit:    unit,
-			FlowID:  fmt.Sprintf("%08x", uint32(f.id)),
-			RevID:   fmt.Sprintf("%08x", uint32(f.revID)),
-			SrcIP:   f.tuple.SrcIP.String(),
-			DstIP:   f.tuple.DstIP.String(),
+			FlowID:  f.idHex,
+			RevID:   f.revHex,
+			SrcIP:   f.srcIPStr,
+			DstIP:   f.dstIPStr,
 			SrcPort: f.tuple.SrcPort,
 			DstPort: f.tuple.DstPort,
-			Proto:   f.tuple.Proto.String(),
+			Proto:   f.protoStr,
 		}
 		cp.sink.Emit(r)
 	}
 
+	cp.tputScratch = throughputs
 	if m == MetricThroughput {
 		cp.emitAggregate(now, throughputs)
 		cp.classifyLimitations(now)
@@ -397,12 +421,12 @@ func (cp *ControlPlane) classifyLimitations(now simtime.Time) {
 		cp.sink.Emit(Report{
 			Kind:       KindLimitation,
 			TimeNs:     int64(now),
-			FlowID:     fmt.Sprintf("%08x", uint32(f.id)),
-			SrcIP:      f.tuple.SrcIP.String(),
-			DstIP:      f.tuple.DstIP.String(),
+			FlowID:     f.idHex,
+			SrcIP:      f.srcIPStr,
+			DstIP:      f.dstIPStr,
 			SrcPort:    f.tuple.SrcPort,
 			DstPort:    f.tuple.DstPort,
-			Proto:      f.tuple.Proto.String(),
+			Proto:      f.protoStr,
 			Limitation: verdict,
 		})
 	}
@@ -464,13 +488,13 @@ func (cp *ControlPlane) sweepTerminated(now simtime.Time) {
 		cp.sink.Emit(Report{
 			Kind:             KindFlowSummary,
 			TimeNs:           int64(now),
-			FlowID:           fmt.Sprintf("%08x", uint32(f.id)),
-			RevID:            fmt.Sprintf("%08x", uint32(f.revID)),
-			SrcIP:            f.tuple.SrcIP.String(),
-			DstIP:            f.tuple.DstIP.String(),
+			FlowID:           f.idHex,
+			RevID:            f.revHex,
+			SrcIP:            f.srcIPStr,
+			DstIP:            f.dstIPStr,
 			SrcPort:          f.tuple.SrcPort,
 			DstPort:          f.tuple.DstPort,
-			Proto:            f.tuple.Proto.String(),
+			Proto:            f.protoStr,
 			StartNs:          int64(start),
 			EndNs:            int64(end),
 			Packets:          snap.Pkts,

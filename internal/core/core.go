@@ -222,6 +222,9 @@ func NewSystem(opts Options) *System {
 	// come from one queue.
 	bottleneckName := s.BottleneckLink.Name()
 	s.Taps.EgressFilter = func(link string) bool { return link == bottleneckName }
+	// The data plane reads registers and returns without retaining the
+	// mirrored copy, so TAP copies can come from the packet arena.
+	s.Taps.Recycle = true
 	s.Taps.Attach(s.CoreSwitch)
 
 	s.Store = psarchiver.NewStore()

@@ -31,9 +31,17 @@ func NewCMS(width, depth int) *CMS {
 // Update adds count bytes to the flow's counters and returns the new
 // estimate (the conservative minimum across rows).
 func (c *CMS) Update(ft packet.FiveTuple, count uint64) uint64 {
+	return c.UpdateKey(KeyOf(ft), count)
+}
+
+// UpdateKey is Update for a pre-packed flow key — the per-packet path,
+// which packs the key once and derives every row hash from it.
+//
+// p4:hotpath
+func (c *CMS) UpdateKey(k FlowKey, count uint64) uint64 {
 	est := ^uint64(0)
 	for row := uint32(0); row < c.depth; row++ {
-		idx := hashAt(ft, row) % c.width
+		idx := k.hashAt(row) % c.width
 		c.rows[row][idx] += count
 		if v := c.rows[row][idx]; v < est {
 			est = v
@@ -45,9 +53,16 @@ func (c *CMS) Update(ft packet.FiveTuple, count uint64) uint64 {
 // Estimate returns the sketch's byte estimate for the flow without
 // updating it.
 func (c *CMS) Estimate(ft packet.FiveTuple) uint64 {
+	return c.EstimateKey(KeyOf(ft))
+}
+
+// EstimateKey is Estimate for a pre-packed flow key.
+//
+// p4:hotpath
+func (c *CMS) EstimateKey(k FlowKey) uint64 {
 	est := ^uint64(0)
 	for row := uint32(0); row < c.depth; row++ {
-		idx := hashAt(ft, row) % c.width
+		idx := k.hashAt(row) % c.width
 		if v := c.rows[row][idx]; v < est {
 			est = v
 		}

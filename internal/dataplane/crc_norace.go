@@ -1,0 +1,18 @@
+//go:build !race
+
+package dataplane
+
+// crcSum computes crc32.Checksum(p, crcTable) with the standard
+// table-driven loop. The stdlib entry point leaks its argument to
+// escape analysis, which would move every packed key to the heap; the
+// local loop keeps the 12–17-byte hash inputs on the stack. The output
+// is bit-identical (TestCRCSumMatchesStdlib pins it).
+//
+// p4:hotpath
+func crcSum(p []byte) uint32 {
+	crc := ^uint32(0)
+	for _, b := range p {
+		crc = crcTable[byte(crc)^b] ^ (crc >> 8)
+	}
+	return ^crc
+}

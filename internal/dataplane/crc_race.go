@@ -1,0 +1,16 @@
+//go:build race
+
+package dataplane
+
+import "hash/crc32"
+
+// crcSum under the race detector delegates to the stdlib, whose
+// architecture-specific assembly is not race-instrumented — the
+// table-driven Go loop in crc_norace.go would pay an instrumented load
+// per input byte. The heap escape the stdlib forces on its argument is
+// irrelevant here (race builds assert behavior, not allocations; the
+// AllocsPerRun tests are !race-gated). Both implementations are
+// bit-identical (TestCRCSumMatchesStdlib pins the non-race one).
+func crcSum(p []byte) uint32 {
+	return crc32.Checksum(p, crcTable)
+}

@@ -190,7 +190,7 @@ func New(cfg Config) *DataPlane {
 	cfg = cfg.WithDefaults()
 	n := cfg.FlowTableSize
 	d := &DataPlane{
-		cfg:        cfg,
+		cfg: cfg,
 		// Widths mirror the P4 program: Tofino's clock (and therefore
 		// every timestamp and timestamp difference) is 48-bit, flag
 		// registers are single bits, the queue signature packs a 32-bit
@@ -244,7 +244,10 @@ func (d *DataPlane) Config() Config { return d.cfg }
 
 // ProcessCopy implements tap.Monitor. Ingress copies drive the
 // measurement algorithms; egress copies close the queuing-delay
-// measurement and feed the microburst detector.
+// measurement and feed the microburst detector. Copies are not retained:
+// the TAP pair may recycle the packet as soon as this returns.
+//
+// p4:hotpath
 func (d *DataPlane) ProcessCopy(c tap.Copy) {
 	switch c.Point {
 	case tap.Ingress:
@@ -258,7 +261,11 @@ func (d *DataPlane) ProcessCopy(c tap.Copy) {
 
 // processIngress executes the per-packet measurement program: byte and
 // packet counting, long-flow detection, Algorithm 1 (RTT and packet
-// loss), flight-size tracking and inter-arrival times.
+// loss), flight-size tracking and inter-arrival times. The packed flow
+// key is computed exactly once here; every derived hash (flow ID,
+// reversed ID, CMS rows) reuses its bytes.
+//
+// p4:hotpath
 func (d *DataPlane) processIngress(pkt *packet.Packet, now simtime.Time) {
 	// The monitor table decides whether this packet enters the
 	// measurement program at all.
@@ -268,7 +275,8 @@ func (d *DataPlane) processIngress(pkt *packet.Packet, now simtime.Time) {
 	}
 
 	ft := pkt.FiveTuple()
-	id := HashFiveTuple(ft)
+	key := KeyOf(ft)
+	id := key.Hash()
 	idx := uint32(id)
 
 	// Stamp the ingress time for queuing-delay pairing with the egress
@@ -297,15 +305,17 @@ func (d *DataPlane) processIngress(pkt *packet.Packet, now simtime.Time) {
 
 	switch {
 	case pkt.CarriesData():
-		d.processData(pkt, ft, id, idx, now)
+		d.processData(pkt, ft, key, id, idx, now)
 	case pkt.IsACKOnly():
-		d.processAck(pkt, id, now)
+		d.processAck(pkt, key, id, now)
 	}
 }
 
 // processData is the Seq branch of Algorithm 1 plus the auxiliary
 // long-flow, flight and IAT bookkeeping.
-func (d *DataPlane) processData(pkt *packet.Packet, ft packet.FiveTuple, id FlowID, idx uint32, now simtime.Time) {
+//
+// p4:hotpath
+func (d *DataPlane) processData(pkt *packet.Packet, ft packet.FiveTuple, key FlowKey, id FlowID, idx uint32, now simtime.Time) {
 	// Inter-arrival time (the mmWave blockage signal, §5.4.3).
 	if last := d.lastArrReg.Read(idx); last != 0 {
 		iat := uint64(now) - last
@@ -314,13 +324,13 @@ func (d *DataPlane) processData(pkt *packet.Packet, ft packet.FiveTuple, id Flow
 	d.lastArrReg.Write(idx, uint64(now))
 
 	// Long-flow detection via the count-min sketch.
-	est := d.cms.Update(ft, uint64(pkt.TotalLen))
+	est := d.cms.UpdateKey(key, uint64(pkt.TotalLen))
 	if est >= d.cfg.LongFlowBytes && d.announced.Read(idx) == 0 {
 		d.announced.Write(idx, 1)
 		if d.OnLongFlow != nil {
 			d.OnLongFlow(LongFlowEvent{
 				ID:    id,
-				RevID: HashReverse(ft),
+				RevID: key.Reverse().Hash(),
 				Tuple: ft,
 				At:    now,
 				Bytes: est,
@@ -341,7 +351,7 @@ func (d *DataPlane) processData(pkt *packet.Packet, ft packet.FiveTuple, id Flow
 		d.prevSeqReg.Write(idx, pkt.SeqExt)
 
 		// Store the expected-ACK signature and timestamp.
-		revID := HashReverse(ft)
+		revID := key.Reverse().Hash()
 		eack := pkt.ExpectedAck()
 		sig := uint64(revID)<<32 | (eack & 0xffffffff)
 		eidx := hash2(revID, eack)
@@ -360,7 +370,9 @@ func (d *DataPlane) processData(pkt *packet.Packet, ft packet.FiveTuple, id Flow
 // processAck is the ACK branch of Algorithm 1: match the cumulative ACK
 // against a stored expected-ACK signature to produce an RTT sample, and
 // advance the data flow's acknowledged high-water mark.
-func (d *DataPlane) processAck(pkt *packet.Packet, id FlowID, now simtime.Time) {
+//
+// p4:hotpath
+func (d *DataPlane) processAck(pkt *packet.Packet, key FlowKey, id FlowID, now simtime.Time) {
 	ack := pkt.AckExt
 	sig := uint64(id)<<32 | (ack & 0xffffffff)
 	eidx := hash2(id, ack)
@@ -378,7 +390,7 @@ func (d *DataPlane) processAck(pkt *packet.Packet, id FlowID, now simtime.Time) 
 	}
 
 	// The ACK acknowledges the reverse flow's data.
-	dataID := HashReverse(pkt.FiveTuple())
+	dataID := key.Reverse().Hash()
 	dataIdx := uint32(dataID)
 	d.highAckReg.Max(dataIdx, ack)
 	d.updateFlight(dataIdx, now)
@@ -408,6 +420,8 @@ func (d *DataPlane) updateFlight(idx uint32, now simtime.Time) {
 // to measure the packet's time inside the core switch (§4.2), updates
 // the per-flow queuing-delay register, and runs the per-packet
 // microburst detector (§3.3.3).
+//
+// p4:hotpath
 func (d *DataPlane) processEgress(pkt *packet.Packet, now simtime.Time) {
 	id := HashFiveTuple(pkt.FiveTuple())
 	qidx := hash2(id, uint64(pkt.IPID))
@@ -437,6 +451,7 @@ func (d *DataPlane) processEgress(pkt *packet.Packet, now simtime.Time) {
 // time and duration. The baseline keeps adapting slowly during a burst
 // so a sustained congestion episode self-terminates rather than being
 // reported as one endless microburst.
+// p4:hotpath
 func (d *DataPlane) detectMicroburst(qdelay simtime.Time, now simtime.Time) {
 	q := float64(qdelay)
 	if !d.qBaseInit {
@@ -444,20 +459,6 @@ func (d *DataPlane) detectMicroburst(qdelay simtime.Time, now simtime.Time) {
 		d.qBaseTs = now
 		d.qBaseInit = true
 		return
-	}
-	// Time-weighted baseline update: alpha = dt/tau, clamped to 1.
-	// Back-to-back trains (dt ~ microseconds) barely move it; slow
-	// ramps (dt comparable to tau) track.
-	updateBaseline := func(scale float64) {
-		dt := float64(now - d.qBaseTs)
-		alpha := dt / float64(d.cfg.BurstBaselineTau) * scale
-		if alpha > 1 {
-			alpha = 1
-		}
-		if alpha > 0 {
-			d.qBaseline += (q - d.qBaseline) * alpha
-		}
-		d.qBaseTs = now
 	}
 	if !d.inBurst {
 		if q > d.cfg.BurstFactor*d.qBaseline && qdelay >= d.cfg.BurstFloor {
@@ -471,7 +472,7 @@ func (d *DataPlane) detectMicroburst(qdelay simtime.Time, now simtime.Time) {
 			d.qBaseTs = now
 			return
 		}
-		updateBaseline(1)
+		d.updateQBaseline(q, now, 1)
 		return
 	}
 	d.burstPkts++
@@ -481,7 +482,7 @@ func (d *DataPlane) detectMicroburst(qdelay simtime.Time, now simtime.Time) {
 	// During a burst the baseline still adapts (slower), so a sustained
 	// congestion episode self-terminates instead of reporting as one
 	// endless microburst.
-	updateBaseline(0.25)
+	d.updateQBaseline(q, now, 0.25)
 	if q < d.cfg.BurstEndFactor*d.qBaseline || qdelay < d.cfg.BurstFloor/2 {
 		d.inBurst = false
 		d.Stats.Microbursts++
@@ -494,6 +495,24 @@ func (d *DataPlane) detectMicroburst(qdelay simtime.Time, now simtime.Time) {
 			})
 		}
 	}
+}
+
+// updateQBaseline folds one queuing-delay sample into the time-weighted
+// EWMA baseline: alpha = dt/tau (scaled), clamped to 1. Back-to-back
+// trains (dt ~ microseconds) barely move it; slow ramps (dt comparable
+// to tau) track.
+//
+// p4:hotpath
+func (d *DataPlane) updateQBaseline(q float64, now simtime.Time, scale float64) {
+	dt := float64(now - d.qBaseTs)
+	alpha := dt / float64(d.cfg.BurstBaselineTau) * scale
+	if alpha > 1 {
+		alpha = 1
+	}
+	if alpha > 0 {
+		d.qBaseline += (q - d.qBaseline) * alpha
+	}
+	d.qBaseTs = now
 }
 
 // CurrentQueueDelay returns the most recent per-packet queuing delay —

@@ -1,9 +1,3 @@
-// Package dataplane models the P4 program the paper deploys on the
-// Tofino switch: a programmable parser feeding match-action logic that
-// maintains per-flow state in fixed-size, hash-indexed register arrays.
-// The model preserves the hardware's semantics — bounded tables,
-// CRC-style hashing, collisions that alias state — so that the control
-// plane above it faces the same realities the paper's does.
 package dataplane
 
 import (
@@ -18,53 +12,87 @@ import (
 type FlowID uint32
 
 // crcTable mirrors the CRC32 polynomial Tofino's hash engines commonly
-// use (Castagnoli).
+// use (Castagnoli). crcSum (crc_norace.go / crc_race.go) hashes with it.
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// HashFiveTuple computes the flow ID exactly as the paper's pipeline
-// does: a CRC hash over source IP, destination IP, source port,
-// destination port and protocol.
-func HashFiveTuple(ft packet.FiveTuple) FlowID {
-	var buf [13]byte
+// FlowKey is the wire-format 5-tuple as the parser extracts it: source
+// IP, destination IP, source port, destination port, protocol — 13 bytes
+// in network byte order. It is a comparable array, so it works as a map
+// key, and the per-packet pipeline packs it exactly once: every derived
+// hash (flow ID, reversed ID, CMS rows) re-reads these bytes instead of
+// re-marshalling through net/netip accessors.
+type FlowKey [13]byte
+
+// KeyOf packs a 5-tuple into its wire-format key.
+//
+// p4:hotpath
+func KeyOf(ft packet.FiveTuple) FlowKey {
+	var k FlowKey
 	src := ft.SrcIP.As4()
 	dst := ft.DstIP.As4()
-	copy(buf[0:4], src[:])
-	copy(buf[4:8], dst[:])
-	binary.BigEndian.PutUint16(buf[8:10], ft.SrcPort)
-	binary.BigEndian.PutUint16(buf[10:12], ft.DstPort)
-	buf[12] = uint8(ft.Proto)
-	return FlowID(crc32.Checksum(buf[:], crcTable))
+	copy(k[0:4], src[:])
+	copy(k[4:8], dst[:])
+	binary.BigEndian.PutUint16(k[8:10], ft.SrcPort)
+	binary.BigEndian.PutUint16(k[10:12], ft.DstPort)
+	k[12] = uint8(ft.Proto)
+	return k
+}
+
+// Reverse returns the key with source and destination fields swapped —
+// byte-identical to KeyOf(ft.Reverse()), without touching netip.
+//
+// p4:hotpath
+func (k FlowKey) Reverse() FlowKey {
+	var r FlowKey
+	copy(r[0:4], k[4:8])    // src IP <- dst IP
+	copy(r[4:8], k[0:4])    // dst IP <- src IP
+	copy(r[8:10], k[10:12]) // src port <- dst port
+	copy(r[10:12], k[8:10]) // dst port <- src port
+	r[12] = k[12]
+	return r
+}
+
+// Hash computes the flow ID exactly as the paper's pipeline does: a CRC
+// hash over the packed 5-tuple.
+//
+// p4:hotpath
+func (k FlowKey) Hash() FlowID {
+	return FlowID(crcSum(k[:]))
+}
+
+// hashAt computes a CMS row hash: the key's bytes hashed with a
+// row-specific seed, emulating the independent hash units of the
+// hardware sketch.
+//
+// p4:hotpath
+func (k FlowKey) hashAt(row uint32) uint32 {
+	var buf [17]byte
+	copy(buf[0:13], k[:])
+	binary.BigEndian.PutUint32(buf[13:17], 0x9e3779b9*(row+1))
+	return crcSum(buf[:])
+}
+
+// HashFiveTuple computes the flow ID from a 5-tuple: a CRC hash over
+// source IP, destination IP, source port, destination port and protocol.
+func HashFiveTuple(ft packet.FiveTuple) FlowID {
+	return KeyOf(ft).Hash()
 }
 
 // HashReverse computes the "reversed ID": the hash with the source and
 // destination fields swapped. The data plane uses it to find the flow
 // an acknowledgment belongs to (§4).
 func HashReverse(ft packet.FiveTuple) FlowID {
-	return HashFiveTuple(ft.Reverse())
+	return KeyOf(ft).Reverse().Hash()
 }
 
 // hash2 combines a flow ID with a second word (an expected ACK number,
 // an IP ID) into a register index, the way the pipeline builds the
 // packet signatures of Algorithm 1.
+//
+// p4:hotpath
 func hash2(id FlowID, v uint64) uint32 {
 	var buf [12]byte
 	binary.BigEndian.PutUint32(buf[0:4], uint32(id))
 	binary.BigEndian.PutUint64(buf[4:12], v)
-	return crc32.Checksum(buf[:], crcTable)
-}
-
-// hashAt computes a CMS row hash: the same bytes hashed with a
-// row-specific seed, emulating the independent hash units of the
-// hardware sketch.
-func hashAt(ft packet.FiveTuple, row uint32) uint32 {
-	var buf [17]byte
-	src := ft.SrcIP.As4()
-	dst := ft.DstIP.As4()
-	copy(buf[0:4], src[:])
-	copy(buf[4:8], dst[:])
-	binary.BigEndian.PutUint16(buf[8:10], ft.SrcPort)
-	binary.BigEndian.PutUint16(buf[10:12], ft.DstPort)
-	buf[12] = uint8(ft.Proto)
-	binary.BigEndian.PutUint32(buf[13:17], 0x9e3779b9*(row+1))
-	return crc32.Checksum(buf[:], crcTable)
+	return crcSum(buf[:])
 }

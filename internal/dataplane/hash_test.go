@@ -1,0 +1,153 @@
+package dataplane
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"repro/internal/packet"
+)
+
+// randomTuple derives a deterministic pseudo-random 5-tuple from rng.
+func randomTuple(rng *rand.Rand) packet.FiveTuple {
+	var src, dst [4]byte
+	binary.BigEndian.PutUint32(src[:], rng.Uint32())
+	binary.BigEndian.PutUint32(dst[:], rng.Uint32())
+	proto := packet.ProtoTCP
+	if rng.Intn(2) == 0 {
+		proto = packet.ProtoUDP
+	}
+	return packet.FiveTuple{
+		SrcIP:   netip.AddrFrom4(src),
+		DstIP:   netip.AddrFrom4(dst),
+		SrcPort: uint16(rng.Uint32()),
+		DstPort: uint16(rng.Uint32()),
+		Proto:   proto,
+	}
+}
+
+// TestCRCSumMatchesStdlib pins the hand-rolled table loop to the
+// stdlib Castagnoli checksum it replaced: flow IDs feed the witness
+// output, so the two must never diverge.
+func TestCRCSumMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		buf := make([]byte, rng.Intn(32))
+		rng.Read(buf)
+		if got, want := crcSum(buf), crc32.Checksum(buf, crcTable); got != want {
+			t.Fatalf("crcSum(%x) = %08x, stdlib %08x", buf, got, want)
+		}
+	}
+	if crcSum(nil) != crc32.Checksum(nil, crcTable) {
+		t.Fatal("crcSum(nil) diverges")
+	}
+}
+
+// TestFlowKeyLayout pins the packed wire format: hashes are computed
+// over these exact bytes, so the layout is part of the flow-ID
+// contract.
+func TestFlowKeyLayout(t *testing.T) {
+	ft := packet.FiveTuple{
+		SrcIP:   packet.MustAddr("10.1.2.3"),
+		DstIP:   packet.MustAddr("192.168.254.1"),
+		SrcPort: 0x1234,
+		DstPort: 0xabcd,
+		Proto:   packet.ProtoTCP,
+	}
+	k := KeyOf(ft)
+	want := FlowKey{10, 1, 2, 3, 192, 168, 254, 1, 0x12, 0x34, 0xab, 0xcd, byte(packet.ProtoTCP)}
+	if k != want {
+		t.Fatalf("KeyOf = %v, want %v", k, want)
+	}
+	rev := k.Reverse()
+	wantRev := FlowKey{192, 168, 254, 1, 10, 1, 2, 3, 0xab, 0xcd, 0x12, 0x34, byte(packet.ProtoTCP)}
+	if rev != wantRev {
+		t.Fatalf("Reverse = %v, want %v", rev, wantRev)
+	}
+}
+
+// TestKeyPathsMatchTuplePaths verifies the packed-key fast path agrees
+// with the tuple entry points for arbitrary tuples.
+func TestKeyPathsMatchTuplePaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		ft := randomTuple(rng)
+		k := KeyOf(ft)
+		if k.Hash() != HashFiveTuple(ft) {
+			t.Fatalf("key hash diverges for %v", ft)
+		}
+		if k.Reverse() != KeyOf(ft.Reverse()) {
+			t.Fatalf("key reverse diverges for %v", ft)
+		}
+		if k.Reverse().Hash() != HashReverse(ft) {
+			t.Fatalf("reverse hash diverges for %v", ft)
+		}
+		if k.Reverse().Reverse() != k {
+			t.Fatalf("reverse not involutive for %v", ft)
+		}
+	}
+}
+
+// TestHashCollisionRate is the collision property test: CRC32 over
+// random distinct 5-tuples should collide at roughly the birthday
+// bound. With n=20000 draws into 2^32 buckets the expectation is
+// n^2/2^33 ≈ 0.05 collisions; 10 would mean the hash lost entropy
+// (e.g. a packing bug aliasing fields).
+func TestHashCollisionRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const n = 20000
+	seen := make(map[FlowID]FlowKey, n)
+	keys := make(map[FlowKey]bool, n)
+	collisions := 0
+	for len(keys) < n {
+		ft := randomTuple(rng)
+		k := KeyOf(ft)
+		if keys[k] {
+			continue // duplicate tuple, not a hash collision
+		}
+		keys[k] = true
+		id := k.Hash()
+		if _, dup := seen[id]; dup {
+			collisions++
+		}
+		seen[id] = k
+	}
+	if collisions > 10 {
+		t.Fatalf("%d hash collisions over %d distinct tuples — far above the birthday bound", collisions, n)
+	}
+}
+
+// TestHashAtRowsIndependent checks the CMS row hashes behave as
+// independent functions: different rows map the same key to unrelated
+// values, and each row spreads distinct keys (no stuck seed).
+func TestHashAtRowsIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const rows = 4
+	const n = 2000
+	// For a pair of rows, count keys where both rows agree modulo a
+	// small table; independence predicts n/width matches, not n.
+	const width = 64
+	agree := 0
+	for i := 0; i < n; i++ {
+		k := KeyOf(randomTuple(rng))
+		if k.hashAt(0)%width == k.hashAt(1)%width {
+			agree++
+		}
+	}
+	// Expectation n/width ≈ 31; flag only wild departures.
+	if agree > n/width*5 {
+		t.Fatalf("rows 0 and 1 agree on %d/%d keys — rows not independent", agree, n)
+	}
+	for row := uint32(0); row < rows; row++ {
+		distinct := make(map[uint32]bool)
+		rng2 := rand.New(rand.NewSource(19))
+		for i := 0; i < n; i++ {
+			distinct[KeyOf(randomTuple(rng2)).hashAt(row)%width] = true
+		}
+		if len(distinct) < width/2 {
+			t.Fatalf("row %d hits only %d/%d buckets", row, len(distinct), width)
+		}
+	}
+}

@@ -27,6 +27,10 @@ func (s FlowSnapshot) HasFlightWindow() bool { return s.FlightMinW != flightNoSa
 
 // ReadFlow performs the control plane's per-flow register reads. id is
 // the flow's own hash; revID is its reversed ID (for the RTT join).
+// The snapshot is returned by value — the extraction tick reads every
+// tracked flow once per metric, and a value snapshot keeps that loop
+// heap-allocation-free (callers needing bulk register dumps pass their
+// own buffer to Register.Snapshot instead).
 func (d *DataPlane) ReadFlow(id, revID FlowID) FlowSnapshot {
 	idx := uint32(id)
 	return FlowSnapshot{

@@ -2,13 +2,31 @@ package experiments
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/simtime"
 )
 
+// quickCoexistence mirrors quickFig9: the run is deterministic, so one
+// cached 60 s simulation serves both the share/identification checks and
+// the render test (the coexistence run is the single most expensive
+// simulation in the suite, especially under the race detector).
+var (
+	quickCoexistenceOnce   sync.Once
+	quickCoexistenceResult *CoexistenceResult
+)
+
+func quickCoexistence(t *testing.T) *CoexistenceResult {
+	t.Helper()
+	quickCoexistenceOnce.Do(func() {
+		quickCoexistenceResult = RunExtCoexistence(CoexistenceConfig{Duration: 60 * simtime.Second})
+	})
+	return quickCoexistenceResult
+}
+
 func TestExtCoexistenceSharesAndIdentification(t *testing.T) {
-	r := RunExtCoexistence(CoexistenceConfig{Duration: 60 * simtime.Second})
+	r := quickCoexistence(t)
 
 	// Coexistence (the BBRv2-style result of Gomez et al.): neither CCA
 	// starves; both hold a meaningful share of the 500 Mbps bottleneck.
@@ -32,8 +50,7 @@ func TestExtCoexistenceSharesAndIdentification(t *testing.T) {
 }
 
 func TestExtCoexistenceRender(t *testing.T) {
-	r := RunExtCoexistence(CoexistenceConfig{Duration: 30 * simtime.Second})
-	out := r.Render()
+	out := quickCoexistence(t).Render()
 	if !strings.Contains(out, "flight-cubic") || !strings.Contains(out, "identification correct") {
 		t.Fatalf("render: %q", out)
 	}

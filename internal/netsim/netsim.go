@@ -103,10 +103,31 @@ func (l *Link) SerializationDelay(n int) simtime.Time {
 	return simtime.Time(float64(n*8) / l.bandwidth * 1e9)
 }
 
+// Scheduler thunks. These are package-level simtime.CallFunc values so
+// that the per-packet Send path schedules without allocating closures;
+// the link and packet ride in the event's argument slots (pointers, so
+// boxing them into any is also allocation-free).
+
+func departureThunk(now simtime.Time, a, b any) {
+	l := a.(*Link)
+	l.OnDeparture(b.(*packet.Packet), now)
+}
+
+func arrivalThunk(_ simtime.Time, a, b any) {
+	l := a.(*Link)
+	l.dst.Receive(b.(*packet.Packet), l)
+}
+
+func releaseThunk(_ simtime.Time, a, _ any) {
+	a.(*packet.Packet).Release()
+}
+
 // Send transmits pkt toward the destination node. The packet arrives at
 // dst after waiting for the transmitter to free up, serialising at the
 // link rate, and propagating. Loss injection and link-down are applied
 // at send time (the packet never arrives).
+//
+// p4:hotpath
 func (l *Link) Send(pkt *packet.Packet) {
 	now := l.engine.Now()
 	start := now
@@ -118,21 +139,24 @@ func (l *Link) Send(pkt *packet.Packet) {
 	l.SentPackets++
 	l.SentBytes += uint64(pkt.WireLen())
 	if l.OnDeparture != nil {
-		l.engine.At(txEnd, func() {
-			l.OnDeparture(pkt, txEnd)
-		})
+		l.engine.AtCall(txEnd, departureThunk, l, pkt)
 	}
 	// Loss and link-down are applied on the wire: the packet serialises
 	// normally (so upstream queue accounting stays correct) and is then
-	// lost in flight, never reaching the receiver.
+	// lost in flight, never reaching the receiver. A lost pooled packet
+	// is recycled — after the departure event (if any) has observed it:
+	// the release event is scheduled later at the same instant, so the
+	// engine's FIFO tie-break guarantees it fires second.
 	if l.Down || (l.LossRate > 0 && l.rng.Float64() < l.LossRate) {
 		l.DroppedPackets++
+		if l.OnDeparture != nil {
+			l.engine.AtCall(txEnd, releaseThunk, pkt, nil)
+		} else {
+			pkt.Release()
+		}
 		return
 	}
-	arrival := txEnd + l.delay
-	l.engine.At(arrival, func() {
-		l.dst.Receive(pkt, l)
-	})
+	l.engine.AtCall(txEnd+l.delay, arrivalThunk, l, pkt)
 }
 
 // QueuedDelay reports how long a packet handed to the link right now

@@ -154,6 +154,12 @@ type Packet struct {
 	// FlowTag is an optional human-readable label set by traffic
 	// generators ("flow1", "dtn2-transfer") used by reports and figures.
 	FlowTag string
+
+	// pooled marks packets owned by the package arena (see pool.go).
+	// Release is a no-op on packets built with NewTCP/NewUDP or plain
+	// struct literals, so callers that retain packets (sinks, recorders)
+	// stay safe without knowing how the packet was produced.
+	pooled bool
 }
 
 // Standard header sizes in bytes.
@@ -264,6 +270,7 @@ func (p *Packet) ExpectedAck() uint64 {
 // production path.
 func (p *Packet) Clone() *Packet {
 	q := *p
+	q.pooled = false
 	if len(p.SackBlocks) > 0 {
 		q.SackBlocks = append([]SackBlock(nil), p.SackBlocks...)
 	}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package packet
+
+// poolEnabled gates the arena. In normal builds pooling removes the
+// per-packet allocation that made the garbage collector the largest
+// consumer of wall time after the scheduler.
+const poolEnabled = true

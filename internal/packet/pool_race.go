@@ -1,0 +1,11 @@
+//go:build race
+
+package packet
+
+// Under the race detector every sync.Pool Get/Put carries an
+// acquire/release annotation, which costs more than the allocation the
+// pool avoids — enough to push the experiments suite past go test's
+// default timeout on small runners. Pooling only recycles memory, never
+// behavior (DESIGN.md §5.1), so race builds fall back to plain
+// allocation: Get returns a fresh packet and Release stays a no-op.
+const poolEnabled = false

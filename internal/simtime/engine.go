@@ -3,10 +3,18 @@
 // in integer nanoseconds; events scheduled for the same instant fire in
 // the order they were scheduled, which makes whole-system runs
 // reproducible bit-for-bit given the same seed.
+//
+// The engine is the hottest code in the repository — every packet
+// serialisation, propagation, TAP delivery and control-plane tick passes
+// through it — so the queue is a typed, inlined 4-ary min-heap rather
+// than container/heap: no interface boxing on push/pop, no indirect
+// Less/Swap calls, and the backing slice doubles as its own free list
+// (pop only shortens the length, so at steady state no event ever
+// allocates). See DESIGN.md "Scheduler determinism contract" for why
+// this preserves the seed-for-seed reproducibility guarantee.
 package simtime
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -48,38 +56,34 @@ func (t Time) String() string {
 	}
 }
 
+// CallFunc is an argument-carrying callback: the scheduled fire time plus
+// two opaque arguments supplied at scheduling time. Hot senders (links,
+// TAPs) use package-level CallFunc values with AtCall so that scheduling
+// a packet costs no closure allocation — the arguments ride in the event
+// itself.
+type CallFunc func(now Time, a, b any)
+
 // event is a scheduled callback. seq breaks ties so that events scheduled
-// earlier at the same timestamp run first.
+// earlier at the same timestamp run first. Exactly one of fn and call is
+// set: fn is the ordinary closure path, call the allocation-free
+// argument-carrying path.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	at   Time
+	seq  uint64
+	fn   func()
+	call CallFunc
+	a, b any
 }
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe
 // for concurrent use; all simulated components run on the engine's
 // goroutine, which is what makes runs deterministic.
 type Engine struct {
-	pq      eventHeap
+	// pq is a 4-ary min-heap ordered by (at, seq). The slice is the
+	// event free list: pop shortens the length and clears the vacated
+	// slot, push reuses the retained capacity, so a warmed engine
+	// schedules without allocating.
+	pq      []event
 	now     Time
 	seq     uint64
 	stopped bool
@@ -91,13 +95,83 @@ type Engine struct {
 
 // NewEngine returns an engine positioned at time zero.
 func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.pq)
-	return e
+	return &Engine{}
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// Reserve pre-sizes the event queue for at least n outstanding events,
+// avoiding growth reallocations during warm-up.
+func (e *Engine) Reserve(n int) {
+	if cap(e.pq) < n {
+		pq := make([]event, len(e.pq), n)
+		copy(pq, e.pq)
+		e.pq = pq
+	}
+}
+
+// less orders events by timestamp, then by scheduling sequence — the
+// FIFO-within-instant rule every simulation relies on.
+//
+// p4:hotpath
+func (e *Engine) less(i, j int) bool {
+	if e.pq[i].at != e.pq[j].at {
+		return e.pq[i].at < e.pq[j].at
+	}
+	return e.pq[i].seq < e.pq[j].seq
+}
+
+// push appends ev and restores the 4-ary heap invariant (sift-up).
+//
+// p4:hotpath
+func (e *Engine) push(ev event) {
+	e.pq = append(e.pq, ev)
+	i := len(e.pq) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.pq[i], e.pq[parent] = e.pq[parent], e.pq[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event (sift-down). The vacated
+// tail slot is cleared so popped closures and arguments do not pin their
+// referents against the garbage collector while the slot waits on the
+// free list.
+//
+// p4:hotpath
+func (e *Engine) pop() event {
+	n := len(e.pq) - 1
+	top := e.pq[0]
+	e.pq[0] = e.pq[n]
+	e.pq[n] = event{} // release references; the slot stays on the free list
+	e.pq = e.pq[:n]
+	i := 0
+	for {
+		min := i
+		// Children of i occupy 4i+1 .. 4i+4.
+		first := i<<2 + 1
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first; c < last; c++ {
+			if e.less(c, min) {
+				min = c
+			}
+		}
+		if min == i {
+			break
+		}
+		e.pq[i], e.pq[min] = e.pq[min], e.pq[i]
+		i = min
+	}
+	return top
+}
 
 // Schedule runs fn after delay. A negative delay is treated as zero
 // (fires at the current instant, after already-queued same-instant
@@ -112,12 +186,39 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 // At runs fn at the absolute virtual time t. Scheduling in the past is a
 // programming error and panics: silently reordering history would make
 // simulation results meaningless.
+//
+// p4:hotpath
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("simtime: scheduling at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, fn: fn})
+}
+
+// AtCall runs call(t, a, b) at the absolute virtual time t. Unlike At,
+// the callback carries its arguments in the event itself, so a
+// package-level CallFunc schedules without allocating a closure — the
+// per-packet path links and TAPs use. Pointer-shaped arguments (pointers,
+// maps, channels) also avoid the interface boxing allocation; do not pass
+// structs by value here.
+//
+// p4:hotpath
+func (e *Engine) AtCall(t Time, call CallFunc, a, b any) {
+	if t < e.now {
+		panic(fmt.Sprintf("simtime: scheduling at %v before now %v", t, e.now))
+	}
+	e.seq++
+	e.push(event{at: t, seq: e.seq, call: call, a: a, b: b})
+}
+
+// ScheduleCall runs call(now+delay, a, b) after delay, clamping negative
+// delays to zero like Schedule.
+func (e *Engine) ScheduleCall(delay Time, call CallFunc, a, b any) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.AtCall(e.now+delay, call, a, b)
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -129,14 +230,17 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Run(until Time) {
 	e.stopped = false
 	for len(e.pq) > 0 && !e.stopped {
-		next := e.pq[0]
-		if next.at > until {
+		if e.pq[0].at > until {
 			break
 		}
-		heap.Pop(&e.pq)
+		next := e.pop()
 		e.now = next.at
 		e.Processed++
-		next.fn()
+		if next.fn != nil {
+			next.fn()
+		} else {
+			next.call(next.at, next.a, next.b)
+		}
 	}
 	if e.now < until && !e.stopped {
 		e.now = until
@@ -148,10 +252,14 @@ func (e *Engine) Run(until Time) {
 func (e *Engine) RunAll() {
 	e.stopped = false
 	for len(e.pq) > 0 && !e.stopped {
-		next := heap.Pop(&e.pq).(event)
+		next := e.pop()
 		e.now = next.at
 		e.Processed++
-		next.fn()
+		if next.fn != nil {
+			next.fn()
+		} else {
+			next.call(next.at, next.a, next.b)
+		}
 	}
 }
 
@@ -160,11 +268,14 @@ func (e *Engine) Pending() int { return len(e.pq) }
 
 // Ticker repeatedly invokes fn every interval starting at start, until
 // cancel is called. It is the building block for the control plane's
-// periodic register extraction.
+// periodic register extraction. The rescheduling callback is materialised
+// once at construction and reused for every firing — rescheduling in
+// place costs one heap push and zero allocations per tick.
 type Ticker struct {
 	engine   *Engine
 	interval Time
 	fn       func(Time)
+	tickFn   func() // bound once; reused every reschedule
 	stopped  bool
 }
 
@@ -175,7 +286,8 @@ func NewTicker(e *Engine, start, interval Time, fn func(Time)) *Ticker {
 		panic("simtime: ticker interval must be positive")
 	}
 	t := &Ticker{engine: e, interval: interval, fn: fn}
-	e.At(start, t.tick)
+	t.tickFn = t.tick
+	e.At(start, t.tickFn)
 	return t
 }
 
@@ -185,7 +297,7 @@ func (t *Ticker) tick() {
 	}
 	t.fn(t.engine.Now())
 	if !t.stopped {
-		t.engine.Schedule(t.interval, t.tick)
+		t.engine.Schedule(t.interval, t.tickFn)
 	}
 }
 
@@ -204,3 +316,75 @@ func (t *Ticker) Interval() Time { return t.interval }
 
 // Stop cancels future firings.
 func (t *Ticker) Stop() { t.stopped = true }
+
+// Timer is a resettable one-shot timer. Unlike scheduling a fresh
+// closure per arm (the pattern TCP's retransmission timer used), a Timer
+// materialises its engine callback once and lazily re-targets pending
+// events: re-arming before expiry costs no allocation, and usually no
+// new event either. Stale events fire as no-ops.
+//
+// The semantics match a conventional resettable timer: after Reset(d)
+// the callback fires exactly once at now+d unless Reset or Stop
+// intervenes first.
+type Timer struct {
+	engine *Engine
+	fn     func()
+	fireFn func() // bound once
+
+	deadline Time
+	armed    bool
+	// pendingAt is the earliest outstanding engine event for this timer
+	// (0 when none). Events later than the current deadline are
+	// superseded by scheduling an earlier one; superseded events no-op.
+	pendingAt Time
+	pending   bool
+}
+
+// NewTimer creates a disarmed timer that runs fn on expiry.
+func NewTimer(e *Engine, fn func()) *Timer {
+	t := &Timer{engine: e, fn: fn}
+	t.fireFn = t.fire
+	return t
+}
+
+// Reset (re)arms the timer to fire after d, replacing any earlier
+// deadline. Non-positive d fires at the current instant (after queued
+// same-instant events).
+func (t *Timer) Reset(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	t.deadline = t.engine.Now() + d
+	t.armed = true
+	if !t.pending || t.pendingAt > t.deadline {
+		t.pending = true
+		t.pendingAt = t.deadline
+		t.engine.At(t.deadline, t.fireFn)
+	}
+}
+
+// Stop disarms the timer. A pending engine event may still fire but will
+// find the timer disarmed and do nothing.
+func (t *Timer) Stop() { t.armed = false }
+
+// Armed reports whether the timer is waiting to fire.
+func (t *Timer) Armed() bool { return t.armed }
+
+func (t *Timer) fire() {
+	t.pending = false
+	t.pendingAt = 0
+	if !t.armed {
+		return
+	}
+	now := t.engine.Now()
+	if now < t.deadline {
+		// Re-armed to a later deadline since this event was scheduled:
+		// chase it.
+		t.pending = true
+		t.pendingAt = t.deadline
+		t.engine.At(t.deadline, t.fireFn)
+		return
+	}
+	t.armed = false
+	t.fn()
+}

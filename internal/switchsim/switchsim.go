@@ -140,6 +140,8 @@ func (s *Switch) PortFor(dst netip.Addr) *Port {
 
 // Receive implements netsim.Node: route the packet, apply drop-tail
 // admission against the output buffer, and forward.
+//
+// p4:hotpath
 func (s *Switch) Receive(pkt *packet.Packet, from *netsim.Link) {
 	now := s.engine.Now()
 	s.ReceivedPackets++
@@ -156,6 +158,7 @@ func (s *Switch) Receive(pkt *packet.Packet, from *netsim.Link) {
 		if pkt.TTL == 0 {
 			s.TTLExpired++
 			s.sendTTLExceeded(pkt)
+			pkt.Release()
 			return
 		}
 	}
@@ -164,11 +167,15 @@ func (s *Switch) Receive(pkt *packet.Packet, from *netsim.Link) {
 }
 
 // forward routes and enqueues a packet on its output port, applying
-// drop-tail admission.
+// drop-tail admission. Dropped packets are recycled here — the switch is
+// the last owner on both drop paths.
+//
+// p4:hotpath
 func (s *Switch) forward(pkt *packet.Packet) {
 	port := s.PortFor(pkt.DstIP)
 	if port == nil {
 		s.Unroutable++
+		pkt.Release()
 		return
 	}
 
@@ -180,6 +187,7 @@ func (s *Switch) forward(pkt *packet.Packet) {
 	if port.queuedBytes+wire > capacity {
 		port.DroppedPackets++
 		port.DroppedBytes += uint64(wire)
+		pkt.Release()
 		return
 	}
 	// INT transit: record the hop's ingress time and the queue depth

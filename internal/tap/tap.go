@@ -61,6 +61,13 @@ type Pair struct {
 	// algorithms use, so the delay is immaterial to results).
 	MirrorDelay simtime.Time
 
+	// Recycle, when true, draws mirror copies from the packet arena and
+	// releases them as soon as the monitor's ProcessCopy returns. Enable
+	// it only for monitors that do not retain copies (the data plane
+	// reads registers and returns); recorders that keep Copy values must
+	// leave it false — the default — so copies are ordinary heap clones.
+	Recycle bool
+
 	engine *simtime.Engine
 
 	// Stats
@@ -77,21 +84,38 @@ func NewPair(e *simtime.Engine, monitor Monitor) *Pair {
 func (p *Pair) Attach(sw *switchsim.Switch) {
 	sw.IngressTap = func(pkt *packet.Packet, at simtime.Time, _ string) {
 		p.IngressCopies++
-		p.deliver(Copy{Pkt: pkt.Clone(), Point: Ingress, At: at})
+		p.deliver(Copy{Pkt: p.clone(pkt), Point: Ingress, At: at})
 	}
 	sw.EgressTap = func(pkt *packet.Packet, at simtime.Time, link string) {
 		if p.EgressFilter != nil && !p.EgressFilter(link) {
 			return
 		}
 		p.EgressCopies++
-		p.deliver(Copy{Pkt: pkt.Clone(), Point: Egress, At: at})
+		p.deliver(Copy{Pkt: p.clone(pkt), Point: Egress, At: at})
 	}
 }
 
+// p4:hotpath
+func (p *Pair) clone(pkt *packet.Packet) *packet.Packet {
+	if p.Recycle {
+		return pkt.ClonePooled()
+	}
+	return pkt.Clone()
+}
+
+// p4:hotpath
 func (p *Pair) deliver(c Copy) {
 	if p.MirrorDelay <= 0 {
 		p.monitor.ProcessCopy(c)
+		if p.Recycle {
+			c.Pkt.Release()
+		}
 		return
 	}
-	p.engine.Schedule(p.MirrorDelay, func() { p.monitor.ProcessCopy(c) })
+	p.engine.Schedule(p.MirrorDelay, func() {
+		p.monitor.ProcessCopy(c)
+		if p.Recycle {
+			c.Pkt.Release()
+		}
+	})
 }

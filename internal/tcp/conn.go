@@ -149,15 +149,14 @@ type Conn struct {
 	// been acknowledged.
 	cutSeq uint64
 	hasCut bool
-	// retransmission timer generation: bumping it cancels pending timers
-	rtoGen   uint64
-	rtoArmed bool
+	// rtoTimer is the retransmission timer: one resettable simtime.Timer
+	// per connection, re-armed in place (no per-arm closure).
+	rtoTimer *simtime.Timer
 	// pacing: at most one wake-up is armed at any time — re-arming on
 	// every gated trySend call would grow an ever-larger population of
 	// stale wake events.
-	nextSendAt    simtime.Time
-	paceGen       uint64
-	paceWakeArmed bool
+	nextSendAt simtime.Time
+	paceTimer  *simtime.Timer
 	// minRTT backs the HyStart-style delay-based slow-start exit.
 	minRTT simtime.Time
 	// application supply: data occupies sequence numbers [1, sndEnd).
@@ -181,8 +180,8 @@ type Conn struct {
 	// tsRecent is the latest timestamp received, echoed back in ACKs
 	// (RFC 7323).
 	tsRecent int64
-	// delackArmed tracks the pending delayed-ACK timer.
-	delackArmed bool
+	// delackTimer bounds how long a lone segment waits for a companion.
+	delackTimer *simtime.Timer
 
 	// OnComplete fires on the sender when every byte of a sized
 	// transfer has been acknowledged (and on the receiver when FIN is
@@ -218,6 +217,9 @@ func newConn(h *Host, ft packet.FiveTuple, cfg Config, r role) *Conn {
 	if r == roleReceiver {
 		c.state = stateSynReceived
 	}
+	c.rtoTimer = simtime.NewTimer(h.engine, c.onTimeout)
+	c.paceTimer = simtime.NewTimer(h.engine, c.trySend)
+	c.delackTimer = simtime.NewTimer(h.engine, c.delackFire)
 	c.Stats.StartTime = h.engine.Now()
 	return c
 }

@@ -95,7 +95,11 @@ func (h *Host) send(pkt *packet.Packet) {
 }
 
 // Receive implements netsim.Node: demultiplex to an existing connection
-// or to a listener for SYN packets.
+// or to a listener for SYN packets. The host is the packet's terminal
+// owner: handlers run synchronously and do not retain it (inband.Extract
+// detaches the INT stack it keeps), so the packet is recycled on return.
+//
+// p4:hotpath
 func (h *Host) Receive(pkt *packet.Packet, from *netsim.Link) {
 	h.ReceivedPackets++
 	if len(pkt.INTStack) > 0 && h.OnINT != nil {
@@ -105,11 +109,13 @@ func (h *Host) Receive(pkt *packet.Packet, from *netsim.Link) {
 		if pkt.Proto == packet.ProtoUDP && h.OnUDP != nil {
 			h.OnUDP(pkt)
 		}
+		pkt.Release()
 		return
 	}
 	key := pkt.FiveTuple().Reverse() // connection keyed by our outbound tuple
 	if c, ok := h.conns[key]; ok {
 		c.handle(pkt)
+		pkt.Release()
 		return
 	}
 	if pkt.Flags&packet.FlagSYN != 0 && pkt.Flags&packet.FlagACK == 0 {
@@ -119,6 +125,7 @@ func (h *Host) Receive(pkt *packet.Packet, from *netsim.Link) {
 			c.handle(pkt)
 		}
 	}
+	pkt.Release()
 }
 
 // SendPacket transmits an arbitrary packet out the access link. Traffic

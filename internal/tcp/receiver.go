@@ -48,19 +48,13 @@ func (c *Conn) handleData(pkt *packet.Packet) {
 		c.unackedSegs++
 		if c.unackedSegs >= c.cfg.DelayedAckEvery {
 			c.sendAck()
-		} else if !c.delackArmed {
+		} else if !c.delackTimer.Armed() {
 			// Delayed-ACK timer: a lone segment must not wait for a
 			// companion longer than the timeout, or the sender's RTO
 			// fires spuriously on the last odd segment of a transfer.
 			// When the timer fires it acknowledges whatever is pending
 			// — even segments that arrived after it was armed.
-			c.delackArmed = true
-			c.host.engine.Schedule(c.cfg.DelayedAckTimeout, func() {
-				c.delackArmed = false
-				if c.unackedSegs > 0 {
-					c.sendAck()
-				}
-			})
+			c.delackTimer.Reset(c.cfg.DelayedAckTimeout)
 		}
 	default:
 		// Out of order: buffer and send an immediate duplicate ACK.
@@ -108,12 +102,23 @@ func (c *Conn) insertOOO(iv interval) {
 	c.oooSegs = merged
 }
 
+// delackFire is the delayed-ACK timer callback: acknowledge whatever is
+// pending, even segments that arrived after the timer was armed.
+func (c *Conn) delackFire() {
+	if c.unackedSegs > 0 {
+		c.sendAck()
+	}
+}
+
 // sendAck emits a pure acknowledgment carrying the advertised window
 // and up to three SACK blocks describing buffered out-of-order data
 // (RFC 2018) — what lets the sender repair large burst losses in a few
-// round trips instead of one hole per RTT.
+// round trips instead of one hole per RTT. ACKs come from the packet
+// arena; the sending host releases them after processing.
+//
+// p4:hotpath
 func (c *Conn) sendAck() {
-	ack := packet.NewTCP(c.ft, c.sndNxt, c.rcvNxt, packet.FlagACK, 0)
+	ack := packet.GetTCP(c.ft, c.sndNxt, c.rcvNxt, packet.FlagACK, 0)
 	ack.FlowTag = c.cfg.FlowTag
 	ack.Window = c.advertisedWindow()
 	ack.TSEcr = c.tsRecent // echo the most recent timestamp (RFC 7323)

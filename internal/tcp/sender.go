@@ -52,15 +52,8 @@ func (c *Conn) trySend() {
 		}
 		if c.cfg.PacingBps > 0 && c.nextSendAt > now {
 			// Pacing gate closed: keep exactly one wake-up armed.
-			if !c.paceWakeArmed {
-				c.paceWakeArmed = true
-				gen := c.paceGen
-				c.host.engine.At(c.nextSendAt, func() {
-					c.paceWakeArmed = false
-					if gen == c.paceGen {
-						c.trySend()
-					}
-				})
+			if !c.paceTimer.Armed() {
+				c.paceTimer.Reset(c.nextSendAt - now)
 			}
 			return
 		}
@@ -95,9 +88,12 @@ func (c *Conn) trySend() {
 const headerOverhead = packet.EthernetHeaderLen + packet.IPv4HeaderLen + packet.TCPHeaderLen
 
 // sendSegment emits one data segment. Retransmissions are flagged so
-// that RTT sampling obeys Karn's algorithm.
+// that RTT sampling obeys Karn's algorithm. Segments come from the
+// packet arena: the receiving host releases them after demux.
+//
+// p4:hotpath
 func (c *Conn) sendSegment(seq uint64, size int, isRetransmit bool) {
-	pkt := packet.NewTCP(c.ft, seq, c.rcvNxt, packet.FlagACK|packet.FlagPSH, size)
+	pkt := packet.GetTCP(c.ft, seq, c.rcvNxt, packet.FlagACK|packet.FlagPSH, size)
 	pkt.FlowTag = c.cfg.FlowTag
 	pkt.Window = c.advertisedWindow()
 	if !isRetransmit {
@@ -466,7 +462,7 @@ func (c *Conn) completeSender() {
 	c.state = stateClosed
 	c.Stats.EndTime = c.host.engine.Now()
 	c.disarmRTO()
-	c.paceGen++
+	c.paceTimer.Stop()
 	if c.OnComplete != nil {
 		c.OnComplete(c)
 	}
@@ -477,27 +473,18 @@ func (c *Conn) completeSender() {
 // ---------------------------------------------------------------------
 
 func (c *Conn) armRTO() {
-	c.rtoGen++
-	gen := c.rtoGen
-	c.rtoArmed = true
-	c.host.engine.Schedule(c.rto.timeout(), func() {
-		if gen == c.rtoGen && c.rtoArmed {
-			c.rtoArmed = false
-			c.onTimeout()
-		}
-	})
+	c.rtoTimer.Reset(c.rto.timeout())
 }
 
 // ensureRTO arms the timer only if it is not already running.
 func (c *Conn) ensureRTO() {
-	if !c.rtoArmed {
+	if !c.rtoTimer.Armed() {
 		c.armRTO()
 	}
 }
 
 func (c *Conn) disarmRTO() {
-	c.rtoGen++
-	c.rtoArmed = false
+	c.rtoTimer.Stop()
 }
 
 func (c *Conn) onTimeout() {
@@ -516,7 +503,6 @@ func (c *Conn) onTimeout() {
 		return
 	}
 	if c.sndUna == c.sndNxt {
-		c.rtoArmed = false
 		return // nothing outstanding
 	}
 	// RTO: collapse to one segment and go back to sndUna (RFC 5681).

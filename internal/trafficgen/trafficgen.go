@@ -118,8 +118,10 @@ func (b Burst) Launch(e *simtime.Engine) {
 			DstPort: b.DstPort,
 			Proto:   packet.ProtoUDP,
 		}
+		// Burst packets come from the arena: the receiving host (or the
+		// drop point) recycles them, so a large train allocates nothing.
 		for i := 0; i < b.Count; i++ {
-			p := packet.NewUDP(ft, b.Payload)
+			p := packet.GetUDP(ft, b.Payload)
 			p.FlowTag = b.Tag
 			b.From.SendPacket(p)
 		}
