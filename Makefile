@@ -5,7 +5,7 @@ GO ?= go
 # The headline exhibits the benchmark-regression gate judges.
 BENCH_GATE = ^BenchmarkFig9PerFlow$$|^BenchmarkTable1Comparison$$
 
-.PHONY: all build vet test race lint bench benchcmp ci
+.PHONY: all build vet test race lint chaos bench benchcmp ci
 
 all: ci
 
@@ -25,6 +25,15 @@ race:
 
 lint:
 	$(GO) run ./cmd/p4lint ./...
+
+# chaos runs the fault-injection suites under the race detector: the
+# scripted-outage shipper tests, the archiver ingest robustness tests,
+# and the end-to-end outage scenario — plus the goleak pass proving the
+# shipper's goroutines terminate on Close.
+chaos:
+	$(GO) test -race -timeout 30m ./internal/faultnet ./internal/resilient ./internal/psarchiver
+	$(GO) test -race -timeout 30m -run 'TestExtOutage' ./internal/experiments
+	$(GO) run ./cmd/p4lint -only goleak ./internal/resilient ./internal/faultnet
 
 # bench re-measures the gated exhibits and records them as the new
 # committed baseline (BENCH_2.json). Run it on a quiet machine after an

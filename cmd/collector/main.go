@@ -5,9 +5,18 @@
 // newline-delimited JSON to a Logstash TCP input — exactly the Figure
 // 7 wiring. Without --logstash it prints the reports to stdout.
 //
+// Shipping is resilient (package resilient): the collector starts
+// even when the archiver is down, reconnects with exponential
+// backoff, spools reports to --spool-dir during outages and replays
+// them in order on reconnect, and accounts for every record in the
+// stats line it prints at shutdown. SIGINT/SIGTERM flush the
+// in-flight reports before exiting.
+//
 // Usage:
 //
 //	collector [--listen :9161] [--logstash HOST:PORT] [--duration 60] [--seed 42]
+//	          [--spool-dir DIR] [--max-spool BYTES] [--mem-spool N]
+//	          [--backoff-min D] [--backoff-max D] [--write-timeout D]
 //
 // Try it together with the other tools:
 //
@@ -16,12 +25,13 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/controlplane"
@@ -29,49 +39,10 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/p4runtime"
 	"repro/internal/psconfig"
+	"repro/internal/resilient"
 	"repro/internal/simtime"
 	"repro/internal/tcp"
 )
-
-// liveSink forwards reports to a JSON-lines TCP connection (or stdout)
-// as the simulation advances.
-type liveSink struct {
-	mu   sync.Mutex
-	out  *json.Encoder
-	conn net.Conn
-	n    uint64
-}
-
-func newLiveSink(logstashAddr string) (*liveSink, error) {
-	s := &liveSink{}
-	if logstashAddr == "" {
-		s.out = json.NewEncoder(os.Stdout)
-		return s, nil
-	}
-	conn, err := net.DialTimeout("tcp", logstashAddr, 5*time.Second)
-	if err != nil {
-		return nil, fmt.Errorf("collector: connecting to logstash: %w", err)
-	}
-	s.conn = conn
-	s.out = json.NewEncoder(conn)
-	return s, nil
-}
-
-func (s *liveSink) Emit(r controlplane.Report) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.n++
-	if err := s.out.Encode(r); err != nil {
-		fmt.Fprintln(os.Stderr, "collector: emit:", err)
-	}
-}
-
-func (s *liveSink) Close() error {
-	if s.conn != nil {
-		return s.conn.Close()
-	}
-	return nil
-}
 
 // guardedCP serialises psconfig calls with the simulation stepper.
 type guardedCP struct {
@@ -97,17 +68,44 @@ func main() {
 	logstash := flag.String("logstash", "", "Logstash TCP input address (default: stdout)")
 	duration := flag.Int("duration", 60, "virtual seconds to run")
 	seed := flag.Uint64("seed", 42, "simulation seed")
+	spoolDir := flag.String("spool-dir", "", "directory for the on-disk report spool during archiver outages (empty disables)")
+	maxSpool := flag.Int64("max-spool", 64<<20, "cap on pending disk-spool bytes before reports degrade to stdout")
+	memSpool := flag.Int("mem-spool", 4096, "in-memory report queue depth (oldest dropped beyond it)")
+	backoffMin := flag.Duration("backoff-min", 50*time.Millisecond, "initial reconnect backoff")
+	backoffMax := flag.Duration("backoff-max", 5*time.Second, "reconnect backoff ceiling")
+	writeTimeout := flag.Duration("write-timeout", 5*time.Second, "per-write deadline on the archiver connection")
 	flag.Parse()
 
-	sink, err := newLiveSink(*logstash)
+	cfg := resilient.Config{
+		MemSpool:      *memSpool,
+		SpoolDir:      *spoolDir,
+		MaxSpoolBytes: *maxSpool,
+		BackoffMin:    *backoffMin,
+		BackoffMax:    *backoffMax,
+		WriteTimeout:  *writeTimeout,
+		Seed:          *seed,
+		Logf: func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "collector: shipper: "+format+"\n", args...)
+		},
+	}
+	if *logstash != "" {
+		addr := *logstash
+		cfg.Dial = func() (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		}
+	}
+	shipper, err := resilient.New(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(os.Stderr, "collector:", err)
 		os.Exit(1)
 	}
-	defer sink.Close()
+	// The counter upstream of the shipper bounds loss end to end: its
+	// count must equal the shipper's Emitted at shutdown.
+	sink := &controlplane.CountingSink{Next: shipper}
 
 	// A fast-scale Fig. 9-style workload provides live traffic; the
-	// live sink receives every report alongside the in-memory mirror.
+	// resilient shipper receives every report alongside the in-memory
+	// mirror.
 	sys := core.NewSystem(core.Options{
 		BottleneckBps: netsim.Mbps(500),
 		Seed:          *seed,
@@ -150,15 +148,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "collector: p4runtime on %s\n", rtLn.Addr())
 	}
 
+	// Flush-then-exit on SIGINT/SIGTERM: stop stepping the simulation,
+	// let the shipper drain (to the archiver, the disk spool, or
+	// stdout), and print the accounting before exiting.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+
 	// Advance the simulation one virtual second per wall second so the
 	// report stream looks live.
 	ticker := time.NewTicker(time.Second)
 	defer ticker.Stop()
+	interrupted := false
+loop:
 	for vt := simtime.Second; vt <= total; vt += simtime.Second {
-		<-ticker.C
+		select {
+		case sig := <-sigs:
+			fmt.Fprintf(os.Stderr, "collector: %v, flushing reports\n", sig)
+			interrupted = true
+			break loop
+		case <-ticker.C:
+		}
 		guard.mu.Lock()
 		sys.Engine.Run(vt)
 		guard.mu.Unlock()
 	}
-	fmt.Fprintf(os.Stderr, "collector: done, %d reports emitted\n", sink.n)
+
+	// Close flushes the in-memory queue: remaining records ship if the
+	// archiver is reachable, otherwise spill to disk or stdout — never
+	// silently vanish.
+	if err := shipper.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "collector: closing shipper:", err)
+	}
+	st := shipper.Stats()
+	fmt.Fprintf(os.Stderr, "collector: done, %d reports emitted (%s)\n", sink.Count(), st)
+	if interrupted {
+		os.Exit(130)
+	}
 }

@@ -1,0 +1,44 @@
+package controlplane
+
+import "sync"
+
+// TeeSink fans each report out to every member sink, in order. It
+// replaces the private tee implementations that core and the collector
+// each grew independently; both now share this one.
+type TeeSink []Sink
+
+// Emit implements Sink.
+func (t TeeSink) Emit(r Report) {
+	for _, s := range t {
+		s.Emit(r)
+	}
+}
+
+// CountingSink wraps a sink with a thread-safe emit counter, the
+// cheapest observability a shipping path can have: when a downstream
+// sink degrades (drops, spools, falls back), comparing its own
+// counters against the CountingSink upstream of it bounds the loss.
+type CountingSink struct {
+	// Next receives every report after the count. Nil discards.
+	Next Sink
+
+	mu sync.Mutex
+	n  uint64
+}
+
+// Emit implements Sink.
+func (c *CountingSink) Emit(r Report) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	if c.Next != nil {
+		c.Next.Emit(r)
+	}
+}
+
+// Count returns the number of reports emitted so far.
+func (c *CountingSink) Count() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}

@@ -1,0 +1,64 @@
+package controlplane
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTeeSinkFansOutInOrder(t *testing.T) {
+	a, b := &MemorySink{}, &MemorySink{}
+	tee := TeeSink{a, b}
+	for i := 0; i < 5; i++ {
+		tee.Emit(Report{Kind: KindMetric, TimeNs: int64(i + 1)})
+	}
+	if len(a.Reports) != 5 || len(b.Reports) != 5 {
+		t.Fatalf("fan-out: %d/%d", len(a.Reports), len(b.Reports))
+	}
+	for i := range a.Reports {
+		if a.Reports[i].TimeNs != b.Reports[i].TimeNs {
+			t.Fatalf("order diverges at %d", i)
+		}
+	}
+}
+
+func TestCountingSinkCountsConcurrently(t *testing.T) {
+	mem := &MemorySink{}
+	var mu sync.Mutex
+	guarded := sinkFunc(func(r Report) {
+		mu.Lock()
+		mem.Emit(r)
+		mu.Unlock()
+	})
+	c := &CountingSink{Next: guarded}
+	const workers, each = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Emit(Report{Kind: KindMetric})
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Count() != workers*each {
+		t.Fatalf("count=%d, want %d", c.Count(), workers*each)
+	}
+	if len(mem.Reports) != workers*each {
+		t.Fatalf("forwarded=%d, want %d", len(mem.Reports), workers*each)
+	}
+}
+
+func TestCountingSinkNilNextDiscards(t *testing.T) {
+	c := &CountingSink{}
+	c.Emit(Report{Kind: KindAlert})
+	if c.Count() != 1 {
+		t.Fatalf("count=%d", c.Count())
+	}
+}
+
+// sinkFunc adapts a function to the Sink interface for tests.
+type sinkFunc func(Report)
+
+func (f sinkFunc) Emit(r Report) { f(r) }

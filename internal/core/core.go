@@ -131,15 +131,6 @@ type System struct {
 	Reports *controlplane.MemorySink
 }
 
-// teeSink fans a report out to several sinks.
-type teeSink []controlplane.Sink
-
-func (t teeSink) Emit(r controlplane.Report) {
-	for _, s := range t {
-		s.Emit(r)
-	}
-}
-
 // internal addressing plan
 var (
 	internalDTNIP  = packet.MustAddr("172.16.0.10")
@@ -235,7 +226,7 @@ func NewSystem(opts Options) *System {
 	cpCfg := opts.ControlPlane
 	cpCfg.LinkCapacityBps = opts.BottleneckBps
 	cpCfg.BufferBytes = opts.BufferBytes
-	sinks := teeSink{s.Reports, s.Pipeline}
+	sinks := controlplane.TeeSink{s.Reports, s.Pipeline}
 	if opts.ExtraSink != nil {
 		sinks = append(sinks, opts.ExtraSink)
 	}

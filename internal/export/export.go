@@ -61,8 +61,11 @@ func WriteCSV(w io.Writer, series ...*metrics.Series) error {
 	return nil
 }
 
-// SaveCSV writes series to a file, creating parent directories.
-func SaveCSV(path string, series ...*metrics.Series) error {
+// SaveCSV writes series to a file, creating parent directories. The
+// file's Close error is propagated: on many filesystems delayed writes
+// surface only at close, so `defer f.Close()` would silently report a
+// truncated file as saved.
+func SaveCSV(path string, series ...*metrics.Series) (err error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
@@ -70,7 +73,11 @@ func SaveCSV(path string, series ...*metrics.Series) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	return WriteCSV(f, series...)
 }
 
@@ -81,6 +88,8 @@ type jsonPoint struct {
 }
 
 // SaveJSON writes the series as a JSON object keyed by series name.
+// (os.WriteFile already propagates the file's Close error, so unlike
+// SaveCSV it needs no extra handling.)
 func SaveJSON(path string, series ...*metrics.Series) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err

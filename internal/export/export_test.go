@@ -77,6 +77,72 @@ func TestSaveCSVAndJSON(t *testing.T) {
 	}
 }
 
+func TestSaveCSVPropagatesCreateError(t *testing.T) {
+	a, _ := twoSeries()
+	dir := t.TempDir()
+	// Parent path component is a regular file: MkdirAll must fail and
+	// SaveCSV must surface it.
+	blocker := filepath.Join(dir, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCSV(filepath.Join(blocker, "out.csv"), a); err == nil {
+		t.Fatal("SaveCSV through a regular file must error")
+	}
+	// Path itself is a directory: os.Create must fail and SaveCSV must
+	// surface it.
+	if err := SaveCSV(dir, a); err == nil {
+		t.Fatal("SaveCSV onto a directory must error")
+	}
+}
+
+func TestSaveCSVReadOnlyDir(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("permission bits do not bind root")
+	}
+	a, _ := twoSeries()
+	dir := t.TempDir()
+	ro := filepath.Join(dir, "ro")
+	if err := os.Mkdir(ro, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCSV(filepath.Join(ro, "out.csv"), a); err == nil {
+		t.Fatal("SaveCSV into a read-only dir must error")
+	}
+	if err := SaveJSON(filepath.Join(ro, "out.json"), a); err == nil {
+		t.Fatal("SaveJSON into a read-only dir must error")
+	}
+}
+
+func TestSaveCSVPropagatesWriteError(t *testing.T) {
+	// /dev/full accepts the open but fails every write with ENOSPC —
+	// the deterministic stand-in for a disk filling up mid-save. Before
+	// SaveCSV propagated close/write failures, a caller could be told a
+	// truncated file was saved successfully.
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available")
+	}
+	a, _ := twoSeries()
+	if err := SaveCSV("/dev/full", a); err == nil {
+		t.Fatal("SaveCSV to /dev/full must report the write failure")
+	}
+}
+
+func TestSaveJSONPropagatesErrors(t *testing.T) {
+	a, _ := twoSeries()
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveJSON(filepath.Join(blocker, "out.json"), a); err == nil {
+		t.Fatal("SaveJSON through a regular file must error")
+	}
+	if err := SaveJSON(dir, a); err == nil {
+		t.Fatal("SaveJSON onto a directory must error")
+	}
+}
+
 func TestChartRendersAllSeries(t *testing.T) {
 	a, b := twoSeries()
 	out := Chart("test chart", 60, 10, a, b)

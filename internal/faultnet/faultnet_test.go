@@ -1,0 +1,251 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// reader drains a conn into a buffer on a background goroutine
+// (net.Pipe writes block until read).
+type reader struct {
+	mu   sync.Mutex
+	buf  bytes.Buffer
+	done chan struct{}
+}
+
+func drain(c net.Conn) *reader {
+	r := &reader{done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := c.Read(tmp)
+			if n > 0 {
+				r.mu.Lock()
+				r.buf.Write(tmp[:n])
+				r.mu.Unlock()
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return r
+}
+
+func (r *reader) bytes() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]byte(nil), r.buf.Bytes()...)
+}
+
+func TestDialAcceptRoundTrip(t *testing.T) {
+	l := NewListener()
+	defer l.Close()
+
+	go func() {
+		c, err := l.Dial()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.Write([]byte("hello"))
+		c.Close()
+	}()
+	s, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(s)
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRefuseNextIsExact(t *testing.T) {
+	l := NewListener()
+	defer l.Close()
+	l.RefuseNext(2)
+	for i := 0; i < 2; i++ {
+		if _, err := l.Dial(); !errors.Is(err, ErrRefused) {
+			t.Fatalf("dial %d: want ErrRefused, got %v", i, err)
+		}
+	}
+	c, err := l.Dial()
+	if err != nil {
+		t.Fatalf("third dial should succeed: %v", err)
+	}
+	c.Close()
+	if l.Dials() != 3 {
+		t.Fatalf("dials=%d, want 3", l.Dials())
+	}
+}
+
+func TestRefuseToggle(t *testing.T) {
+	l := NewListener()
+	defer l.Close()
+	l.Refuse(true)
+	if _, err := l.Dial(); !errors.Is(err, ErrRefused) {
+		t.Fatalf("want ErrRefused, got %v", err)
+	}
+	l.Refuse(false)
+	c, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+}
+
+func TestResetDeliversExactlyUpToOffset(t *testing.T) {
+	l := NewListener()
+	defer l.Close()
+	l.ScriptNext(Script{{AfterBytes: 7, Kind: Reset}})
+
+	c, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := drain(s)
+
+	n, werr := c.Write([]byte("0123456789"))
+	if n != 7 || !errors.Is(werr, ErrReset) {
+		t.Fatalf("write: n=%d err=%v, want 7/ErrReset", n, werr)
+	}
+	<-r.done // reader sees EOF because the pipe closed
+	if got := r.bytes(); string(got) != "0123456" {
+		t.Fatalf("delivered %q, want %q", got, "0123456")
+	}
+	// The connection is dead for subsequent writes too.
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Fatal("write after reset must fail")
+	}
+}
+
+func TestResetAcrossMultipleWrites(t *testing.T) {
+	l := NewListener()
+	defer l.Close()
+	l.ScriptNext(Script{{AfterBytes: 10, Kind: Reset}})
+
+	c, _ := l.Dial()
+	s, _ := l.Accept()
+	r := drain(s)
+
+	if n, err := c.Write([]byte("abcdef")); n != 6 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	n, err := c.Write([]byte("ghijkl"))
+	if n != 4 || !errors.Is(err, ErrReset) {
+		t.Fatalf("second write: n=%d err=%v, want 4/ErrReset", n, err)
+	}
+	<-r.done
+	if got := r.bytes(); string(got) != "abcdefghij" {
+		t.Fatalf("delivered %q", got)
+	}
+}
+
+func TestStallHonoursWriteDeadline(t *testing.T) {
+	l := NewListener()
+	defer l.Close()
+	l.ScriptNext(Script{{AfterBytes: 3, Kind: Stall, Delay: 50 * time.Millisecond}})
+
+	c, _ := l.Dial()
+	s, _ := l.Accept()
+	drain(s)
+
+	fc := c.(*Conn)
+	fc.SetWriteDeadline(time.Now().Add(5 * time.Millisecond))
+	n, err := fc.Write([]byte("abcdef"))
+	if err == nil {
+		t.Fatalf("stalled write must miss its deadline (n=%d)", n)
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("want timeout error, got %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("delivered %d bytes before the stall, want 3", n)
+	}
+}
+
+func TestCutAllKillsLiveConns(t *testing.T) {
+	l := NewListener()
+	defer l.Close()
+	c, _ := l.Dial()
+	s, _ := l.Accept()
+	r := drain(s)
+	if _, err := c.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	l.CutAll()
+	<-r.done
+	if _, err := c.Write([]byte("dead")); err == nil {
+		t.Fatal("write after CutAll must fail")
+	}
+	if got := r.bytes(); string(got) != "ok" {
+		t.Fatalf("delivered %q", got)
+	}
+	// The listener itself still works.
+	c2, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Close()
+}
+
+func TestCloseRefusesDialsAndUnblocksAccept(t *testing.T) {
+	l := NewListener()
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	l.Close()
+	if err := <-done; !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("accept after close: %v", err)
+	}
+	if _, err := l.Dial(); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("dial after close: %v", err)
+	}
+	// Idempotent.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicFaultSequence(t *testing.T) {
+	// The same script must produce byte-identical delivery on every
+	// run — the property the chaos tests rely on.
+	run := func() string {
+		l := NewListener()
+		defer l.Close()
+		l.ScriptNext(Script{{AfterBytes: 5, Kind: Reset}}, Script{{AfterBytes: 2, Kind: Reset}})
+		var all []byte
+		for i := 0; i < 3; i++ {
+			c, err := l.Dial()
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, _ := l.Accept()
+			r := drain(s)
+			c.Write([]byte("0123456789"))
+			c.Close()
+			<-r.done
+			all = append(all, r.bytes()...)
+			all = append(all, '|')
+		}
+		return string(all)
+	}
+	a, b := run(), run()
+	if a != b || a != "01234|01|0123456789|" {
+		t.Fatalf("non-deterministic or wrong delivery: %q vs %q", a, b)
+	}
+}

@@ -2,8 +2,10 @@ package psarchiver
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 
@@ -176,10 +178,18 @@ func NewTCPInput(pipeline *Pipeline, addr string) (*TCPInput, error) {
 	if err != nil {
 		return nil, fmt.Errorf("psarchiver: tcp input: %w", err)
 	}
+	return NewInputFromListener(pipeline, ln), nil
+}
+
+// NewInputFromListener runs the same input plugin over an
+// already-bound listener — the fault-injection harness plugs an
+// in-memory faultnet.Listener in here so outage tests exercise the
+// real ingest code. Close closes the listener.
+func NewInputFromListener(pipeline *Pipeline, ln net.Listener) *TCPInput {
 	in := &TCPInput{pipeline: pipeline, ln: ln}
 	in.wg.Add(1)
 	go in.acceptLoop()
-	return in, nil
+	return in
 }
 
 // Addr returns the bound address.
@@ -197,24 +207,75 @@ func (in *TCPInput) acceptLoop() {
 	}
 }
 
+// maxLineBytes bounds one JSON line; anything larger is counted as one
+// error and skipped, and the connection keeps serving. (The previous
+// bufio.Scanner-based loop silently killed the whole connection on an
+// oversized line or a read error, with no trace in any counter.)
+const maxLineBytes = 1 << 20
+
+func (in *TCPInput) countError() {
+	in.mu.Lock()
+	in.errCount++
+	in.mu.Unlock()
+}
+
+func (in *TCPInput) handleLine(line []byte) {
+	if len(line) == 0 {
+		return
+	}
+	var doc Document
+	if err := json.Unmarshal(line, &doc); err != nil {
+		in.countError()
+		return
+	}
+	in.pipeline.Process(doc)
+}
+
 func (in *TCPInput) serve(conn net.Conn) {
 	defer in.wg.Done()
 	defer conn.Close()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 64<<10), 1<<20)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	r := bufio.NewReaderSize(conn, 64<<10)
+	var buf []byte
+	tooLong := false
+	for {
+		chunk, err := r.ReadSlice('\n')
+		if len(chunk) > 0 && !tooLong {
+			buf = append(buf, chunk...)
+			if len(buf) > maxLineBytes {
+				// One error for the whole oversized line, however many
+				// reads it spans; the rest of it is discarded below.
+				in.countError()
+				tooLong = true
+				buf = buf[:0]
+			}
 		}
-		var doc Document
-		if err := json.Unmarshal(line, &doc); err != nil {
-			in.mu.Lock()
-			in.errCount++
-			in.mu.Unlock()
-			continue
+		switch err {
+		case nil:
+			// A complete line (buf ends in '\n') — or the tail of an
+			// oversized one we are discarding.
+			if !tooLong {
+				// Trim like bufio.ScanLines did: the newline plus an
+				// optional carriage return.
+				in.handleLine(bytes.TrimRight(buf, "\r\n"))
+			}
+			tooLong = false
+			buf = buf[:0]
+		case bufio.ErrBufferFull:
+			// Mid-line: keep accumulating (or discarding).
+		case io.EOF:
+			// A trailing unterminated line still counts (mid-line
+			// resets surface here as an undecodable fragment).
+			if !tooLong {
+				in.handleLine(buf)
+			}
+			return
+		default:
+			// Read error (connection reset and friends): count it so
+			// the loss is visible, then let the accept loop keep
+			// serving other connections.
+			in.countError()
+			return
 		}
-		in.pipeline.Process(doc)
 	}
 }
 

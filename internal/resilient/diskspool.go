@@ -1,0 +1,155 @@
+package resilient
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ErrSpoolFull reports that appending a record would exceed the disk
+// spool's byte cap; the caller degrades the record to the fallback
+// writer instead.
+var ErrSpoolFull = errors.New("resilient: disk spool full")
+
+// SpoolFileName is the newline-delimited JSON file the shipper keeps
+// under Config.SpoolDir.
+const SpoolFileName = "reports.spool.ndjson"
+
+// diskSpool is the durable middle tier: an append-only NDJSON file plus
+// a replay cursor. It is used by exactly one goroutine (the shipper's
+// run loop), so it needs no locking; concurrency-safe counters live in
+// the Shipper.
+//
+// Layout: bytes [0, readOff) have been replayed and delivered; bytes
+// [readOff, size) are pending. When everything pending has been
+// delivered the file is truncated back to zero, so steady-state disk
+// usage is nil. The cursor is process-lifetime only: after a crash the
+// whole file is pending again, giving at-least-once delivery across
+// restarts (see DESIGN.md, shipping-path failure model).
+type diskSpool struct {
+	path    string
+	max     int64 // cap on pending bytes (size - readOff)
+	w       *os.File
+	r       *os.File
+	br      *bufio.Reader
+	size    int64
+	readOff int64
+	pending int64  // complete records in [readOff, size)
+	peeked  []byte // the record at the cursor, once read
+}
+
+// openDiskSpool opens (creating if needed) the spool under dir. A
+// trailing partial line — a crash during a previous spill — is
+// truncated away so it cannot merge with the next appended record.
+// Complete leftover records are counted as pending and will replay on
+// the first connect.
+func openDiskSpool(dir string, max int64) (*diskSpool, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resilient: spool dir: %w", err)
+	}
+	path := filepath.Join(dir, SpoolFileName)
+	existing, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("resilient: spool file: %w", err)
+	}
+	if cut := len(existing); cut > 0 && existing[cut-1] != '\n' {
+		// Drop the torn trailing line.
+		if i := bytes.LastIndexByte(existing, '\n'); i >= 0 {
+			existing = existing[:i+1]
+		} else {
+			existing = nil
+		}
+		if err := os.WriteFile(path, existing, 0o644); err != nil {
+			return nil, fmt.Errorf("resilient: truncating torn spool line: %w", err)
+		}
+	}
+	w, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("resilient: spool append handle: %w", err)
+	}
+	r, err := os.Open(path)
+	if err != nil {
+		_ = w.Close() // unwound before any write; the open error wins
+		return nil, fmt.Errorf("resilient: spool read handle: %w", err)
+	}
+	d := &diskSpool{
+		path:    path,
+		max:     max,
+		w:       w,
+		r:       r,
+		br:      bufio.NewReader(r),
+		size:    int64(len(existing)),
+		pending: int64(bytes.Count(existing, []byte{'\n'})),
+	}
+	return d, nil
+}
+
+// append adds one newline-terminated record, enforcing the pending-byte
+// cap.
+func (d *diskSpool) append(line []byte) error {
+	if d.size-d.readOff+int64(len(line)) > d.max {
+		return ErrSpoolFull
+	}
+	n, err := d.w.Write(line)
+	d.size += int64(n)
+	if err != nil {
+		return err
+	}
+	if n != len(line) {
+		return fmt.Errorf("resilient: short spool write (%d of %d bytes)", n, len(line))
+	}
+	d.pending++
+	return nil
+}
+
+// peek returns the record at the replay cursor without advancing it;
+// repeated peeks (e.g. across a reconnect) return the same record.
+// It returns nil when nothing is pending.
+func (d *diskSpool) peek() ([]byte, error) {
+	if d.peeked != nil {
+		return d.peeked, nil
+	}
+	if d.pending == 0 {
+		return nil, nil
+	}
+	line, err := d.br.ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("resilient: spool read: %w", err)
+	}
+	d.peeked = line
+	return line, nil
+}
+
+// delivered advances the cursor past the peeked record; once the spool
+// drains completely the file is truncated back to empty.
+func (d *diskSpool) delivered() error {
+	if d.peeked == nil {
+		return fmt.Errorf("resilient: delivered without peek")
+	}
+	d.readOff += int64(len(d.peeked))
+	d.peeked = nil
+	d.pending--
+	if d.pending == 0 && d.readOff == d.size {
+		if err := d.w.Truncate(0); err != nil {
+			return fmt.Errorf("resilient: truncating drained spool: %w", err)
+		}
+		if _, err := d.r.Seek(0, 0); err != nil {
+			return fmt.Errorf("resilient: rewinding drained spool: %w", err)
+		}
+		d.br.Reset(d.r)
+		d.size, d.readOff = 0, 0
+	}
+	return nil
+}
+
+func (d *diskSpool) close() error {
+	rerr := d.r.Close()
+	werr := d.w.Close()
+	if werr != nil {
+		return werr
+	}
+	return rerr
+}
