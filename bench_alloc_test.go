@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/dataplane"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/simtime"
 	"repro/internal/tap"
@@ -65,6 +66,58 @@ func TestAllocFreeDataPlanePerPacket(t *testing.T) {
 		at += 10 * simtime.Microsecond
 		dp.ProcessCopy(tap.Copy{Pkt: data, Point: tap.Egress, At: at})
 	})
+}
+
+// TestAllocFreeDataPlaneInstrumented repeats the per-packet assertions
+// with self-telemetry enabled: RegisterObs must not change the
+// allocation profile, because every hook on the packet path is an
+// atomic add into preallocated counter/histogram storage.
+func TestAllocFreeDataPlaneInstrumented(t *testing.T) {
+	dp := dataplane.New(dataplane.Config{})
+	dp.RegisterObs(obs.NewRegistry())
+	ft := allocFlow()
+	data := packet.NewTCP(ft, 1, 0, packet.FlagACK|packet.FlagPSH, 1448)
+	ack := packet.NewTCP(ft.Reverse(), 1, 1449, packet.FlagACK, 0)
+
+	seq := uint64(1)
+	at := simtime.Millisecond
+	assertZeroAllocs(t, "instrumented ingress data", func() {
+		data.SeqExt = seq
+		data.IPID = uint16(seq)
+		seq += 1448
+		at += 10 * simtime.Microsecond
+		dp.ProcessCopy(tap.Copy{Pkt: data, Point: tap.Ingress, At: at})
+	})
+
+	ackNo := uint64(1449)
+	assertZeroAllocs(t, "instrumented ingress ack", func() {
+		ack.AckExt = ackNo
+		ackNo += 1448
+		at += 10 * simtime.Microsecond
+		dp.ProcessCopy(tap.Copy{Pkt: ack, Point: tap.Ingress, At: at})
+	})
+
+	assertZeroAllocs(t, "instrumented egress", func() {
+		at += 10 * simtime.Microsecond
+		dp.ProcessCopy(tap.Copy{Pkt: data, Point: tap.Egress, At: at})
+	})
+}
+
+// TestAllocFreeObsPrimitives pins the telemetry primitives themselves:
+// counter and gauge mutation, a histogram observation, and a trace-ring
+// append are all single atomic ops or in-place ring writes.
+func TestAllocFreeObsPrimitives(t *testing.T) {
+	r := obs.NewRegistry()
+	c := r.NewCounter("p4_alloc_test_total", "alloc assertion")
+	g := r.NewGauge("p4_alloc_test_gauge", "alloc assertion")
+	h := r.NewHistogram("p4_alloc_test_ns", "alloc assertion")
+	tr := r.NewTrace("alloc", 64)
+
+	var v uint64
+	assertZeroAllocs(t, "Counter.Inc", func() { c.Inc() })
+	assertZeroAllocs(t, "Gauge.Set", func() { v++; g.Set(v) })
+	assertZeroAllocs(t, "Histogram.Observe", func() { v++; h.Observe(v) })
+	assertZeroAllocs(t, "Trace.Add", func() { v++; tr.Add("tick", v, 0) })
 }
 
 // TestAllocFreeFlowHashing pins the key-packing and sketch paths: one

@@ -17,6 +17,12 @@
 //	collector [--listen :9161] [--logstash HOST:PORT] [--duration 60] [--seed 42]
 //	          [--spool-dir DIR] [--max-spool BYTES] [--mem-spool N]
 //	          [--backoff-min D] [--backoff-max D] [--write-timeout D]
+//	          [--obs-addr :9600]
+//
+// With --obs-addr the collector serves its own telemetry: Prometheus
+// text at /metrics (pipeline counters, extraction-latency histograms,
+// the shipper's degradation-ladder gauges), the report-lifecycle trace
+// ring at /trace, expvar at /debug/vars and pprof at /debug/pprof/.
 //
 // Try it together with the other tools:
 //
@@ -37,6 +43,7 @@ import (
 	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/p4runtime"
 	"repro/internal/psconfig"
 	"repro/internal/resilient"
@@ -74,6 +81,7 @@ func main() {
 	backoffMin := flag.Duration("backoff-min", 50*time.Millisecond, "initial reconnect backoff")
 	backoffMax := flag.Duration("backoff-max", 5*time.Second, "reconnect backoff ceiling")
 	writeTimeout := flag.Duration("write-timeout", 5*time.Second, "per-write deadline on the archiver connection")
+	obsAddr := flag.String("obs-addr", "", "self-telemetry HTTP endpoint: /metrics, /trace, expvar, pprof (empty disables)")
 	flag.Parse()
 
 	cfg := resilient.Config{
@@ -111,8 +119,32 @@ func main() {
 		Seed:          *seed,
 		ExtraSink:     sink,
 	})
-	sys.Start()
 	guard := &guardedCP{cp: sys.ControlPlane}
+
+	// Self-telemetry (opt-in): counters, histograms and the shipper
+	// trace ring behind /metrics, /trace, expvar and pprof. Scrapes of
+	// engine-owned state (register scans, the flow directory) run under
+	// the same mutex that serialises simulation stepping.
+	if *obsAddr != "" {
+		reg := obs.NewRegistry()
+		reg.Sync = func(f func()) {
+			guard.mu.Lock()
+			defer guard.mu.Unlock()
+			f()
+		}
+		reg.AddProcessMetrics()
+		sys.DataPlane.RegisterObs(reg)
+		sys.ControlPlane.RegisterObs(reg)
+		shipper.RegisterObs(reg)
+		srv, bound, err := reg.Serve(*obsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "collector:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "collector: self-telemetry on http://%s/ (metrics, trace, pprof)\n", bound)
+	}
+	sys.Start()
 
 	sender := tcp.Config{MSS: 1448}
 	total := simtime.Time(*duration) * simtime.Second

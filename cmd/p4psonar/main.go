@@ -2,14 +2,17 @@
 //
 // Usage:
 //
-//	p4psonar run [-paper] [-out DIR] [-seed N] [-cpuprofile F] [-memprofile F] table1|fig9|fig10|fig11|fig12|fig13|fig14|all
+//	p4psonar run [-paper] [-out DIR] [-seed N] [-cpuprofile F] [-memprofile F]
+//	             [-obs-addr :9600] table1|fig9|fig10|fig11|fig12|fig13|fig14|all
 //
 // By default experiments run at fast scale (1/20 bandwidth, identical
 // RTTs and shapes); -paper runs the full 10 Gbps testbed parameters.
 // Each experiment prints its panels as ASCII charts and, with -out,
 // writes CSV series for external plotting. -cpuprofile and -memprofile
 // capture pprof profiles over the selected experiments (see README's
-// Profiling section).
+// Profiling section); -obs-addr serves the live alternative — process
+// self-metrics at /metrics plus on-demand pprof at /debug/pprof/ —
+// for watching a long -paper run from the outside.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -33,6 +37,7 @@ func main() {
 	seed := fs.Uint64("seed", 42, "simulation seed")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile over the selected experiments to this file")
 	memprofile := fs.String("memprofile", "", "write an allocation profile taken after the experiments to this file")
+	obsAddr := fs.String("obs-addr", "", "self-telemetry HTTP endpoint: process /metrics, expvar, pprof (empty disables)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2) // flag.ExitOnError has already printed the problem
 	}
@@ -41,6 +46,18 @@ func main() {
 	if len(targets) == 0 {
 		usage()
 		os.Exit(2)
+	}
+
+	if *obsAddr != "" {
+		reg := obs.NewRegistry()
+		reg.AddProcessMetrics()
+		srv, bound, err := reg.Serve(*obsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p4psonar:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "p4psonar: self-telemetry on http://%s/ (metrics, pprof)\n", bound)
 	}
 
 	if *cpuprofile != "" {
@@ -137,5 +154,5 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: p4psonar run [-paper] [-out DIR] [-seed N] [-cpuprofile F] [-memprofile F] table1|fig9|fig10|fig11|fig12|fig13|fig14|coexistence|all`)
+	fmt.Fprintln(os.Stderr, `usage: p4psonar run [-paper] [-out DIR] [-seed N] [-cpuprofile F] [-memprofile F] [-obs-addr ADDR] table1|fig9|fig10|fig11|fig12|fig13|fig14|coexistence|all`)
 }

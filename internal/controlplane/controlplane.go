@@ -3,6 +3,7 @@ package controlplane
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/dataplane"
 	"repro/internal/metrics"
@@ -141,6 +142,9 @@ type ControlPlane struct {
 	flowScratch []*flowEntry
 	tputScratch []float64
 
+	// obs is the optional self-telemetry hook (RegisterObs).
+	obs *cpObs
+
 	started bool
 }
 
@@ -274,6 +278,9 @@ func (cp *ControlPlane) sortedFlows() []*flowEntry {
 // registers of every tracked flow, derive the value, report it, and
 // apply the alert policy.
 func (cp *ControlPlane) extract(m Metric, now simtime.Time) {
+	if cp.obs != nil {
+		defer cp.observeExtract(time.Now(), len(cp.flows))
+	}
 	maxValue := 0.0
 	throughputs := cp.tputScratch[:0]
 

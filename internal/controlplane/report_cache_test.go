@@ -1,0 +1,77 @@
+package controlplane
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// chanSink hands every report to a consumer goroutine, the way the
+// resilient shipper's encode loop consumes them in the live collector.
+type chanSink struct {
+	ch chan Report
+}
+
+func (s *chanSink) Emit(r Report) { s.ch <- r }
+
+// TestReportStringsImmutableUnderConcurrentExtraction pins the
+// flow-entry string cache contract: the idHex/srcIPStr/... fields are
+// rendered once at announcement time and never rewritten, so a report
+// handed to a sink can be marshalled from another goroutine while the
+// engine keeps extracting — which is exactly what the collector daemon
+// does. Run under -race this fails if any extraction tick mutates a
+// string an emitted Report still references.
+func TestReportStringsImmutableUnderConcurrentExtraction(t *testing.T) {
+	sink := &chanSink{ch: make(chan Report, 1024)}
+	e, dp, cp := newCP(sink, Config{LinkCapacityBps: 1e9})
+	cp.Start()
+
+	var (
+		wg       sync.WaitGroup
+		consumed int
+		badLine  string
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := range sink.ch {
+			// Touch every cached string and the JSON encoding; the race
+			// detector watches these reads against extraction writes.
+			line, err := r.MarshalJSONLine()
+			if err != nil {
+				badLine = err.Error()
+				continue
+			}
+			if r.FlowID != "" && !strings.Contains(string(line), r.FlowID) {
+				badLine = string(line)
+			}
+			if r.SrcIP != "" && len(r.SrcIP)+len(r.DstIP)+len(r.Proto) == 0 {
+				badLine = "unreachable" // keep the reads observable
+			}
+			consumed++
+		}
+	}()
+
+	// Three flows announced at staggered times, so announcements (which
+	// render the caches) interleave with ticks that emit reports for
+	// already-announced flows.
+	for i, port := range []uint16{40001, 40002, 40003} {
+		port, start := port, simtime.Time(i)*simtime.Second
+		e.Schedule(start, func() {
+			feedFlow(dp, flowTuple(port), start+simtime.Millisecond, 400, 1000, simtime.Millisecond)
+		})
+	}
+	e.Run(5 * simtime.Second)
+
+	close(sink.ch)
+	wg.Wait()
+	if badLine != "" {
+		t.Fatalf("report decoded inconsistently in the consumer: %s", badLine)
+	}
+	if consumed == 0 {
+		t.Fatal("consumer saw no reports")
+	}
+	t.Logf("consumer marshalled %d reports concurrently with extraction", consumed)
+}

@@ -182,6 +182,10 @@ type DataPlane struct {
 	// runtime API (register reads by name, like bfrt/P4Runtime).
 	registry map[string]*Register
 
+	// obs is the optional self-telemetry hook (RegisterObs); nil keeps
+	// the pipeline uninstrumented at the cost of one branch per packet.
+	obs *dpObs
+
 	Stats Stats
 }
 
@@ -252,9 +256,15 @@ func (d *DataPlane) ProcessCopy(c tap.Copy) {
 	switch c.Point {
 	case tap.Ingress:
 		d.Stats.IngressCopies++
+		if o := d.obs; o != nil {
+			o.ingressCopies.Inc()
+		}
 		d.processIngress(c.Pkt, c.At)
 	case tap.Egress:
 		d.Stats.EgressCopies++
+		if o := d.obs; o != nil {
+			o.egressCopies.Inc()
+		}
 		d.processEgress(c.Pkt, c.At)
 	}
 }
@@ -271,6 +281,9 @@ func (d *DataPlane) processIngress(pkt *packet.Packet, now simtime.Time) {
 	// measurement program at all.
 	if action, _, _ := d.monitorTable.Lookup([]uint64{ipKey(pkt.DstIP)}); action == "skip" {
 		d.Stats.SkippedPackets++
+		if o := d.obs; o != nil {
+			o.skipped.Inc()
+		}
 		return
 	}
 
@@ -384,6 +397,10 @@ func (d *DataPlane) processAck(pkt *packet.Packet, key FlowKey, id FlowID, now s
 			// the control plane joins it back via the reversed ID.
 			d.rttReg.Write(uint32(id), rtt)
 			d.Stats.RTTSamples++
+			if o := d.obs; o != nil {
+				o.rttSamples.Inc()
+				o.rttNs.Observe(rtt)
+			}
 		}
 		d.eackSig.Write(eidx, 0)
 		d.eackTS.Write(eidx, 0)
@@ -438,6 +455,9 @@ func (d *DataPlane) processEgress(pkt *packet.Packet, now simtime.Time) {
 		return
 	}
 	qdelay := simtime.Time(uint64(now) - ingressTS)
+	if o := d.obs; o != nil {
+		o.qdelayNs.Observe(uint64(qdelay))
+	}
 	d.qdelayReg.Write(uint32(id), uint64(qdelay))
 	d.lastQDelay = qdelay
 	d.lastEgress = now
@@ -486,6 +506,10 @@ func (d *DataPlane) detectMicroburst(qdelay simtime.Time, now simtime.Time) {
 	if q < d.cfg.BurstEndFactor*d.qBaseline || qdelay < d.cfg.BurstFloor/2 {
 		d.inBurst = false
 		d.Stats.Microbursts++
+		if o := d.obs; o != nil {
+			o.microbursts.Inc()
+			o.burstNs.Observe(uint64(now - d.burstStart))
+		}
 		if d.OnMicroburst != nil {
 			d.OnMicroburst(MicroburstEvent{
 				Start:     d.burstStart,

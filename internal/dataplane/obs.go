@@ -1,0 +1,70 @@
+package dataplane
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// dpObs is the pipeline's optional self-telemetry: per-packet counters
+// mirror Stats with atomic (scrape-safe) semantics, the RTT and
+// queuing-delay histograms record every per-packet sample the way
+// P4TG's histogram monitoring does, and the extraction histogram
+// measures the wall-clock cost of each control-plane register read.
+// Every mutation is an atomic add — the per-packet path stays
+// zero-allocation with instrumentation enabled (bench_alloc_test.go
+// asserts this).
+type dpObs struct {
+	ingressCopies *obs.Counter
+	egressCopies  *obs.Counter
+	rttSamples    *obs.Counter
+	microbursts   *obs.Counter
+	skipped       *obs.Counter
+
+	rttNs     *obs.Histogram
+	qdelayNs  *obs.Histogram
+	burstNs   *obs.Histogram
+	extractNs *obs.Histogram
+}
+
+// RegisterObs wires the pipeline's self-telemetry into r. Call it
+// before traffic starts and do not call it concurrently with packet
+// processing; the uninstrumented pipeline pays only a nil check.
+func (d *DataPlane) RegisterObs(r *obs.Registry) {
+	d.obs = &dpObs{
+		ingressCopies: r.NewCounter("p4_dataplane_ingress_copies_total", "TAP ingress copies processed."),
+		egressCopies:  r.NewCounter("p4_dataplane_egress_copies_total", "TAP egress copies processed."),
+		rttSamples:    r.NewCounter("p4_dataplane_rtt_samples_total", "Algorithm 1 RTT samples produced."),
+		microbursts:   r.NewCounter("p4_dataplane_microbursts_total", "Microburst events detected."),
+		skipped:       r.NewCounter("p4_dataplane_skipped_packets_total", "Packets excluded by the monitor table."),
+		rttNs:         r.NewHistogram("p4_dataplane_rtt_ns", "Per-sample RTT (ns), power-of-two buckets."),
+		qdelayNs:      r.NewHistogram("p4_dataplane_queue_delay_ns", "Per-packet queuing delay (ns), power-of-two buckets."),
+		burstNs:       r.NewHistogram("p4_dataplane_microburst_duration_ns", "Microburst duration (ns), power-of-two buckets."),
+		extractNs:     r.NewHistogram("p4_dataplane_extract_wall_ns", "Wall-clock latency of one ReadFlow register extraction (ns)."),
+	}
+	// Occupancy is scanned at scrape time (never on the packet path).
+	// The scan reads single-threaded register state, so the registry's
+	// Sync hook must serialise scrapes with the simulation step.
+	r.NewGaugeFunc("p4_dataplane_flow_table_occupancy", "Register cells currently owned by a flow.",
+		d.OccupiedCells)
+	r.NewGaugeFunc("p4_dataplane_flow_table_size", "Configured per-flow register cells.",
+		func() uint64 { return uint64(d.cfg.FlowTableSize) })
+}
+
+// OccupiedCells counts flow-table register cells currently owned by a
+// flow (collision witness register non-zero). O(FlowTableSize); meant
+// for scrape time, not the packet path.
+func (d *DataPlane) OccupiedCells() uint64 {
+	var n uint64
+	for i := 0; i < d.cfg.FlowTableSize; i++ {
+		if d.ownerLo.Read(uint32(i)) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// observeExtract times one ReadFlow when instrumentation is on.
+func (d *DataPlane) observeExtract(start time.Time) {
+	d.obs.extractNs.Observe(uint64(time.Since(start)))
+}

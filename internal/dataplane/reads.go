@@ -1,6 +1,10 @@
 package dataplane
 
-import "repro/internal/simtime"
+import (
+	"time"
+
+	"repro/internal/simtime"
+)
 
 // FlowSnapshot is one flow's register state as the control plane reads
 // it through the switch-manufacturer APIs (§3.2). RTT is joined from
@@ -32,6 +36,12 @@ func (s FlowSnapshot) HasFlightWindow() bool { return s.FlightMinW != flightNoSa
 // heap-allocation-free (callers needing bulk register dumps pass their
 // own buffer to Register.Snapshot instead).
 func (d *DataPlane) ReadFlow(id, revID FlowID) FlowSnapshot {
+	// Self-telemetry: the wall-clock cost of one register extraction
+	// (the equivalent of a bfrt read RPC). Only when instrumented —
+	// the uninstrumented read pays a single nil check.
+	if d.obs != nil {
+		defer d.observeExtract(time.Now())
+	}
 	idx := uint32(id)
 	return FlowSnapshot{
 		Bytes:      d.bytesReg.Read(idx),

@@ -8,6 +8,7 @@ import (
 	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/faultnet"
+	"repro/internal/obs"
 	"repro/internal/psarchiver"
 	"repro/internal/resilient"
 	"repro/internal/simtime"
@@ -49,6 +50,11 @@ type OutageConfig struct {
 	Seed     uint64
 	// MemSpool bounds the shipper's in-memory queue; default 4096.
 	MemSpool int
+	// Obs, when set, receives the shipping path's self-telemetry: the
+	// shipper's ladder gauges and trace ring plus the archiver input
+	// and pipeline counters. Scraping it mid-scenario is safe — the
+	// ladder gauges come from one locked snapshot per scrape.
+	Obs *obs.Registry
 }
 
 func (c OutageConfig) withDefaults() OutageConfig {
@@ -167,6 +173,11 @@ func RunExtOutage(cfg OutageConfig) (*OutageResult, error) {
 	}
 	h.shipper = shipper
 	h.counter = &controlplane.CountingSink{Next: shipper}
+	if cfg.Obs != nil {
+		h.shipper.RegisterObs(cfg.Obs)
+		h.input.RegisterObs(cfg.Obs)
+		h.pipeline.RegisterObs(cfg.Obs)
+	}
 
 	sys := core.NewSystem(core.Options{
 		BottleneckBps: cfg.Scale.Bottleneck(),

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("p4_http_test_total", "HTTP test counter.")
+	c.Add(5)
+	tr := r.NewTrace("lifecycle", 8)
+	tr.Add("open", 1, 0)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "p4_http_test_total 5") {
+		t.Errorf("/metrics = %d:\n%s", code, body)
+	}
+
+	code, body = get(t, srv, "/trace")
+	if code != http.StatusOK || !strings.Contains(body, "seq=0 open a=1 b=0") {
+		t.Errorf("/trace = %d:\n%s", code, body)
+	}
+
+	code, body = get(t, srv, "/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars = %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	var obsVars map[string]interface{}
+	if err := json.Unmarshal(vars["p4obs"], &obsVars); err != nil {
+		t.Fatalf("p4obs var: %v", err)
+	}
+	if obsVars["p4_http_test_total"] != float64(5) {
+		t.Errorf("p4obs.p4_http_test_total = %v, want 5", obsVars["p4_http_test_total"])
+	}
+
+	if code, _ := get(t, srv, "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+	if code, body := get(t, srv, "/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index = %d:\n%s", code, body)
+	}
+	if code, _ := get(t, srv, "/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path = %d, want 404", code)
+	}
+}
+
+func TestServe(t *testing.T) {
+	r := NewRegistry()
+	r.AddProcessMetrics()
+	srv, addr, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "p4_process_goroutines") {
+		t.Errorf("process metrics missing:\n%s", body)
+	}
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(7)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	g.Add(3)
+	if got := g.Value(); got != 10 {
+		t.Fatalf("gauge after Add = %d, want 10", got)
+	}
+	g.Add(^uint64(0)) // -1 in two's complement
+	if got := g.Value(); got != 9 {
+		t.Fatalf("gauge after decrement = %d, want 9", got)
+	}
+}
+
+// TestHistogramBuckets pins the log2 bucketing contract: bucket 0
+// holds the value 0, bucket i holds [2^(i-1), 2^i).
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {math.MaxUint64, 64},
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	s := h.Snapshot()
+	want := map[int]uint64{0: 1, 1: 1, 2: 2, 3: 2, 4: 1, 10: 1, 11: 1, 64: 1}
+	for i, n := range s.Buckets {
+		if n != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, n, want[i])
+		}
+	}
+	if s.Count != uint64(len(cases)) {
+		t.Errorf("count = %d, want %d", s.Count, len(cases))
+	}
+}
+
+func TestBucketUpper(t *testing.T) {
+	cases := map[int]uint64{0: 0, 1: 1, 2: 3, 3: 7, 10: 1023, 64: math.MaxUint64, 70: math.MaxUint64}
+	for i, want := range cases {
+		if got := BucketUpper(i); got != want {
+			t.Errorf("BucketUpper(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestHistogramConcurrent drives Observe from many goroutines — under
+// -race this proves the atomic-only mutation contract.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, each = 8, 1000
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(uint64(w*each + i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*each {
+		t.Fatalf("count = %d, want %d", got, workers*each)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.NewCounter("dup", "")
+}
+
+func TestRegistrySync(t *testing.T) {
+	r := NewRegistry()
+	synced := 0
+	r.Sync = func(f func()) { synced++; f() }
+	r.NewGaugeFunc("g", "", func() uint64 { return 1 })
+	_ = r.Snapshot()
+	if synced != 1 {
+		t.Fatalf("Sync ran %d times, want 1", synced)
+	}
+}
+
+func TestSnapshotValues(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "")
+	g := r.NewGauge("g", "")
+	h := r.NewHistogram("h_ns", "")
+	r.Collect(func(w MetricWriter) { w.Gauge("from_collector", "", 5) })
+	c.Add(3)
+	g.Set(9)
+	h.Observe(100)
+	snap := r.Snapshot()
+	if snap["c_total"] != uint64(3) || snap["g"] != uint64(9) || snap["from_collector"] != uint64(5) {
+		t.Fatalf("snapshot = %#v", snap)
+	}
+	hv, ok := snap["h_ns"].(map[string]interface{})
+	if !ok || hv["count"] != uint64(1) || hv["sum"] != uint64(100) {
+		t.Fatalf("histogram snapshot = %#v", snap["h_ns"])
+	}
+}

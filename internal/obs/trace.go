@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one entry in a Trace ring: a static kind string (callers
+// pass literals so recording allocates nothing), up to two numeric
+// arguments whose meaning the kind defines, a wall-clock stamp and a
+// global sequence number. Seq is assigned by Add and never reused, so
+// a dump shows exactly how many events were lost to ring wraparound.
+type Event struct {
+	Seq    uint64
+	WallNs int64
+	Kind   string
+	A, B   uint64
+}
+
+// Trace is a bounded ring buffer of lifecycle events. Add overwrites
+// the oldest entry when full — a trace is a flight recorder, not a
+// log. The ring is preallocated at construction; Add mutates slots in
+// place and allocates nothing.
+type Trace struct {
+	name string
+
+	mu   sync.Mutex
+	ring []Event
+	next uint64 // total events ever added; next % len(ring) is the write slot
+}
+
+// NewTrace builds a standalone trace ring with the given capacity
+// (minimum 1). Use Registry.NewTrace to also expose it at /trace.
+func NewTrace(name string, capacity int) *Trace {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Trace{name: name, ring: make([]Event, capacity)}
+}
+
+// Name returns the trace's registered name.
+func (t *Trace) Name() string { return t.name }
+
+// Add records one event. Kind should be a string literal; a and b are
+// kind-defined arguments (bytes, counts, durations). Safe for
+// concurrent use; zero allocations.
+func (t *Trace) Add(kind string, a, b uint64) {
+	now := time.Now().UnixNano()
+	t.mu.Lock()
+	slot := &t.ring[t.next%uint64(len(t.ring))]
+	slot.Seq = t.next
+	slot.WallNs = now
+	slot.Kind = kind
+	slot.A = a
+	slot.B = b
+	t.next++
+	t.mu.Unlock()
+}
+
+// Len returns the number of events currently retained.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.retained()
+}
+
+// Total returns the number of events ever added (retained + lost).
+func (t *Trace) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+func (t *Trace) retained() int {
+	if t.next < uint64(len(t.ring)) {
+		return int(t.next)
+	}
+	return len(t.ring)
+}
+
+// Snapshot appends the retained events to dst in sequence order,
+// oldest first, and returns the result.
+func (t *Trace) Snapshot(dst []Event) []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.retained()
+	start := t.next - uint64(n)
+	for seq := start; seq < t.next; seq++ {
+		dst = append(dst, t.ring[seq%uint64(len(t.ring))])
+	}
+	return dst
+}
+
+// WriteTo renders the retained events as text, one per line, oldest
+// first, with a header noting wraparound loss. It implements part of
+// the /trace endpoint.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	events := t.Snapshot(nil)
+	total := t.Total()
+	var n int64
+	c, err := fmt.Fprintf(w, "# trace %s: %d events retained, %d total (%d lost to wraparound)\n",
+		t.name, len(events), total, total-uint64(len(events)))
+	n += int64(c)
+	if err != nil {
+		return n, err
+	}
+	for _, e := range events {
+		ts := time.Unix(0, e.WallNs).UTC().Format("15:04:05.000000")
+		c, err := fmt.Fprintf(w, "%s seq=%d %s a=%d b=%d\n", ts, e.Seq, e.Kind, e.A, e.B)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTraceRingOrdering pins the flight-recorder contract: events come
+// back oldest first in sequence order, before and after wraparound,
+// and the total counts events lost to the bounded ring.
+func TestTraceRingOrdering(t *testing.T) {
+	tr := NewTrace("test", 4)
+	tr.Add("a", 1, 0)
+	tr.Add("b", 2, 0)
+	tr.Add("c", 3, 0)
+	got := tr.Snapshot(nil)
+	if len(got) != 3 {
+		t.Fatalf("retained %d events, want 3", len(got))
+	}
+	for i, e := range got {
+		if e.Seq != uint64(i) {
+			t.Errorf("event %d seq = %d, want %d", i, e.Seq, i)
+		}
+	}
+	if got[0].Kind != "a" || got[2].Kind != "c" || got[2].A != 3 {
+		t.Errorf("unexpected events: %+v", got)
+	}
+
+	// Wrap: 7 total events into a 4-slot ring keeps seqs 3..6.
+	tr.Add("d", 4, 0)
+	tr.Add("e", 5, 0)
+	tr.Add("f", 6, 0)
+	tr.Add("g", 7, 0)
+	got = tr.Snapshot(nil)
+	if len(got) != 4 {
+		t.Fatalf("retained %d events after wrap, want 4", len(got))
+	}
+	wantKinds := []string{"d", "e", "f", "g"}
+	for i, e := range got {
+		if e.Seq != uint64(i+3) || e.Kind != wantKinds[i] {
+			t.Errorf("event %d = seq %d kind %q, want seq %d kind %q",
+				i, e.Seq, e.Kind, i+3, wantKinds[i])
+		}
+	}
+	if tr.Total() != 7 || tr.Len() != 4 {
+		t.Errorf("total=%d len=%d, want 7 and 4", tr.Total(), tr.Len())
+	}
+}
+
+func TestTraceWriteTo(t *testing.T) {
+	tr := NewTrace("ship", 2)
+	tr.Add("ship", 128, 0)
+	tr.Add("retry", 0, 1)
+	tr.Add("ship", 256, 0)
+	var b strings.Builder
+	if _, err := tr.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "trace ship: 2 events retained, 3 total (1 lost to wraparound)") {
+		t.Errorf("missing header, got:\n%s", out)
+	}
+	if !strings.Contains(out, "seq=1 retry a=0 b=1") || !strings.Contains(out, "seq=2 ship a=256 b=0") {
+		t.Errorf("missing events, got:\n%s", out)
+	}
+	if strings.Contains(out, "seq=0 ") {
+		t.Errorf("overwritten event still rendered:\n%s", out)
+	}
+}
+
+// TestTraceConcurrent exercises Add under contention (meaningful with
+// -race) and checks no sequence number is ever duplicated.
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace("c", 64)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				tr.Add("e", uint64(i), 0)
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if tr.Total() != 2000 {
+		t.Fatalf("total = %d, want 2000", tr.Total())
+	}
+	seen := map[uint64]bool{}
+	for _, e := range tr.Snapshot(nil) {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}

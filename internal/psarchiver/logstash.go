@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/controlplane"
 )
@@ -158,6 +159,10 @@ type TCPInput struct {
 	ln       net.Listener
 	wg       sync.WaitGroup
 
+	// obs is the optional self-telemetry hook (RegisterObs). Atomic:
+	// registration may race the per-connection goroutines.
+	obs atomic.Pointer[inputObs]
+
 	mu       sync.Mutex
 	closed   bool
 	errCount uint64 // undecodable lines, guarded by mu
@@ -217,11 +222,17 @@ func (in *TCPInput) countError() {
 	in.mu.Lock()
 	in.errCount++
 	in.mu.Unlock()
+	if o := in.obs.Load(); o != nil {
+		o.errors.Inc()
+	}
 }
 
 func (in *TCPInput) handleLine(line []byte) {
 	if len(line) == 0 {
 		return
+	}
+	if o := in.obs.Load(); o != nil {
+		o.lines.Inc()
 	}
 	var doc Document
 	if err := json.Unmarshal(line, &doc); err != nil {
@@ -234,6 +245,9 @@ func (in *TCPInput) handleLine(line []byte) {
 func (in *TCPInput) serve(conn net.Conn) {
 	defer in.wg.Done()
 	defer conn.Close()
+	if o := in.obs.Load(); o != nil {
+		o.conns.Inc()
+	}
 	r := bufio.NewReaderSize(conn, 64<<10)
 	var buf []byte
 	tooLong := false

@@ -1,0 +1,33 @@
+package psarchiver
+
+import "repro/internal/obs"
+
+// inputObs is the TCP input's optional self-telemetry.
+type inputObs struct {
+	conns  *obs.Counter
+	lines  *obs.Counter
+	errors *obs.Counter
+}
+
+// RegisterObs wires the input plugin's ingest and error rates into r.
+// Safe to call while connections are being served (the hook pointer is
+// atomic); events before registration are visible only in Errors().
+func (in *TCPInput) RegisterObs(r *obs.Registry) {
+	in.obs.Store(&inputObs{
+		conns:  r.NewCounter("p4_archiver_input_connections_total", "Connections accepted by the TCP input."),
+		lines:  r.NewCounter("p4_archiver_input_lines_total", "NDJSON lines ingested (decodable or not)."),
+		errors: r.NewCounter("p4_archiver_input_errors_total", "Undecodable lines, oversized lines and read errors."),
+	})
+}
+
+// RegisterObs exposes the pipeline counters as one consistent gauge
+// group: received/dropped/shipped are read from a single mutex-guarded
+// snapshot per scrape.
+func (p *Pipeline) RegisterObs(r *obs.Registry) {
+	r.Collect(func(w obs.MetricWriter) {
+		st := p.Stats()
+		w.Gauge("p4_archiver_pipeline_received", "Documents entering the Logstash-model pipeline.", st.Received)
+		w.Gauge("p4_archiver_pipeline_dropped", "Documents rejected by a filter or undecodable.", st.Dropped)
+		w.Gauge("p4_archiver_pipeline_shipped", "Documents delivered to the output plugins.", st.Shipped)
+	})
+}

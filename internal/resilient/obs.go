@@ -1,0 +1,43 @@
+package resilient
+
+import "repro/internal/obs"
+
+// RegisterObs wires the shipper's self-telemetry into r.
+//
+// The ladder counters are rendered by one Collect callback reading a
+// single mutex-consistent Stats snapshot, so the PR-3 accounting
+// invariant
+//
+//	emitted == shipped + replayed + fallback + dropped + queued + spool_pending
+//
+// holds in every /metrics scrape, not just at quiescent points (the
+// shipper moves records between states under the same lock the
+// snapshot takes). The trace ring records report-lifecycle and
+// ladder-transition events: ship, retry, replay, spill, fallback,
+// drop, dial, connect, breaker_open, breaker_close, spool_abandon.
+func (s *Shipper) RegisterObs(r *obs.Registry) {
+	s.trace.Store(r.NewTrace("shipper", 1024))
+	r.Collect(func(w obs.MetricWriter) {
+		st := s.Stats()
+		w.Gauge("p4_shipper_emitted", "Reports accepted by Emit.", st.Emitted)
+		w.Gauge("p4_shipper_shipped", "Records fully delivered to a live archiver connection.", st.Shipped)
+		w.Gauge("p4_shipper_replayed", "Records delivered off the disk spool after an outage.", st.Replayed)
+		w.Gauge("p4_shipper_retried", "Write attempts that failed and left the record queued.", st.Retried)
+		w.Gauge("p4_shipper_dropped", "Records lost with certainty (overflow, encode, fallback errors).", st.Dropped)
+		w.Gauge("p4_shipper_spilled", "Records appended to the disk spool.", st.Spilled)
+		w.Gauge("p4_shipper_fallback", "Records degraded to the fallback writer.", st.Fallback)
+		w.Gauge("p4_shipper_dial_attempts", "Archiver dial attempts.", st.DialAttempts)
+		w.Gauge("p4_shipper_reconnects", "Successful dials that followed at least one failure.", st.Reconnects)
+		w.Gauge("p4_shipper_breaker_opens", "Circuit-breaker open transitions.", st.BreakerOpens)
+		w.Gauge("p4_shipper_queued", "Current in-memory queue depth.", st.Queued)
+		w.Gauge("p4_shipper_spool_pending", "Records waiting on disk for replay.", st.SpoolPending)
+	})
+}
+
+// tev records one trace event when instrumentation is on. kind must be
+// a string literal so recording stays allocation-free.
+func (s *Shipper) tev(kind string, a, b uint64) {
+	if t := s.trace.Load(); t != nil {
+		t.Add(kind, a, b)
+	}
+}

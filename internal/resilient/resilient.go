@@ -18,11 +18,14 @@
 //
 //	Emitted == Shipped + Replayed + Fallback + Dropped + Queued + SpoolPending
 //
-// holds at every quiescent point (modulo records inherited from a
-// previous run's spool file, which are Replayed without having been
-// Emitted), and after Close with Queued == 0.
+// holds in every Stats snapshot — state transitions that move a record
+// between terms happen under the same lock the snapshot takes, so even
+// a mid-outage /metrics scrape balances exactly (modulo records
+// inherited from a previous run's spool file, which are Replayed
+// without having been Emitted), and after Close with Queued == 0.
 // Tests assert this invariant under scripted faults (package faultnet)
-// rather than observing good behaviour by luck.
+// rather than observing good behaviour by luck; RegisterObs exposes
+// the same counters as live gauges plus a lifecycle trace ring.
 package resilient
 
 import (

@@ -2,9 +2,11 @@ package resilient
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/controlplane"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -26,6 +28,11 @@ type Shipper struct {
 	notify chan struct{} // cap 1: "the queue may be non-empty"
 	stop   chan struct{} // closed by Close
 	done   chan struct{} // closed when run returns
+
+	// trace, when set by RegisterObs, receives one event per
+	// report-lifecycle and ladder transition. Atomic because
+	// registration may race the run goroutine.
+	trace atomic.Pointer[obs.Trace]
 
 	// Run-loop state, touched only by the run goroutine.
 	conn        connWriter
@@ -80,9 +87,11 @@ func (s *Shipper) Emit(r controlplane.Report) {
 	if err != nil || s.closing {
 		s.stats.Dropped++
 		s.mu.Unlock()
+		s.tev("drop", 0, 0)
 		return
 	}
-	if s.n == len(s.queue) {
+	dropOldest := s.n == len(s.queue)
+	if dropOldest {
 		// Drop-oldest: stale telemetry is worth less than fresh.
 		s.head = (s.head + 1) % len(s.queue)
 		s.n--
@@ -92,6 +101,9 @@ func (s *Shipper) Emit(r controlplane.Report) {
 	s.n++
 	s.stats.Queued = uint64(s.n)
 	s.mu.Unlock()
+	if dropOldest {
+		s.tev("drop_oldest", uint64(len(s.queue)), 0)
+	}
 	select {
 	case s.notify <- struct{}{}:
 	default:
@@ -217,12 +229,19 @@ func (s *Shipper) next() ([]byte, bool) {
 // state, crediting the given counter.
 func (s *Shipper) pop(counter *uint64) {
 	s.mu.Lock()
+	s.popLocked(counter)
+	s.mu.Unlock()
+}
+
+// popLocked is pop with s.mu already held — used where the pop must be
+// atomic with other counter updates (the disk-spill transition) so a
+// concurrent Stats snapshot never sees a record in two states at once.
+func (s *Shipper) popLocked(counter *uint64) {
 	s.queue[s.head] = nil
 	s.head = (s.head + 1) % len(s.queue)
 	s.n--
 	s.stats.Queued = uint64(s.n)
 	*counter++
-	s.mu.Unlock()
 }
 
 // shipHead writes the queue head to the live connection. The record is
@@ -236,9 +255,11 @@ func (s *Shipper) shipHead(line []byte) error {
 	n, err := s.conn.Write(line)
 	if n == len(line) {
 		s.pop(&s.stats.Shipped)
+		s.tev("ship", uint64(n), 0)
 		return err // a fully-accepted write may still report the teardown
 	}
 	s.bump(&s.stats.Retried)
+	s.tev("retry", uint64(n), uint64(len(line)))
 	return err
 }
 
@@ -255,6 +276,7 @@ func (s *Shipper) replaySpool() error {
 			s.stats.Dropped += uint64(s.spool.pending)
 			s.stats.SpoolPending = 0
 			s.mu.Unlock()
+			s.tev("spool_abandon", uint64(s.spool.pending), 0)
 			s.logf("resilient: abandoning unreadable spool: %v", err)
 			s.spool.pending = 0
 			s.spool.peeked = nil
@@ -277,6 +299,7 @@ func (s *Shipper) replaySpool() error {
 		s.stats.Replayed++
 		s.stats.SpoolPending = uint64(s.spool.pending)
 		s.mu.Unlock()
+		s.tev("replay", uint64(n), 0)
 		if werr != nil {
 			return werr
 		}
@@ -291,6 +314,7 @@ func (s *Shipper) connFailed(format string, args ...interface{}) {
 		s.conn = nil
 	}
 	s.consecFail++
+	s.tev("conn_fail", uint64(s.consecFail), 0)
 	s.maybeOpenBreaker()
 }
 
@@ -298,6 +322,7 @@ func (s *Shipper) maybeOpenBreaker() {
 	if !s.breakerOpen && s.consecFail >= s.cfg.BreakerFailures {
 		s.breakerOpen = true
 		s.bump(&s.stats.BreakerOpens)
+		s.tev("breaker_open", uint64(s.consecFail), 0)
 		s.logf("resilient: circuit breaker open after %d consecutive failures; spilling to %s",
 			s.consecFail, s.spoolDesc())
 	}
@@ -328,8 +353,10 @@ func (s *Shipper) connectStep() bool {
 			s.logf("resilient: reconnected after %d failures", s.consecFail)
 		}
 		if s.breakerOpen {
+			s.tev("breaker_close", uint64(s.consecFail), 0)
 			s.logf("resilient: circuit breaker closed; replaying spool")
 		}
+		s.tev("connect", uint64(s.consecFail), 0)
 		s.conn = conn
 		s.consecFail = 0
 		s.breakerOpen = false
@@ -337,6 +364,7 @@ func (s *Shipper) connectStep() bool {
 		return true
 	}
 	s.consecFail++
+	s.tev("dial_fail", uint64(s.consecFail), 0)
 	s.maybeOpenBreaker()
 	if s.breakerOpen {
 		// Spill what arrived while dialing before going back to sleep.
@@ -398,10 +426,14 @@ func (s *Shipper) spillOne(line []byte) {
 	if s.spool != nil {
 		switch err := s.spool.append(line); err {
 		case nil:
+			// One lock for SpoolPending and the pop: a concurrent
+			// Stats snapshot (the /metrics scrape) must never see the
+			// record counted as both queued and spool-pending.
 			s.mu.Lock()
 			s.stats.SpoolPending = uint64(s.spool.pending)
+			s.popLocked(&s.stats.Spilled)
 			s.mu.Unlock()
-			s.pop(&s.stats.Spilled)
+			s.tev("spill", uint64(len(line)), 0)
 			return
 		case ErrSpoolFull:
 			s.logf("resilient: disk spool full (%d bytes cap); degrading to fallback", s.cfg.MaxSpoolBytes)
@@ -411,9 +443,11 @@ func (s *Shipper) spillOne(line []byte) {
 	}
 	if _, err := s.cfg.Fallback.Write(line); err != nil {
 		s.pop(&s.stats.Dropped)
+		s.tev("drop", uint64(len(line)), 0)
 		return
 	}
 	s.pop(&s.stats.Fallback)
+	s.tev("fallback", uint64(len(line)), 0)
 }
 
 // terminalStep is the Dial == nil mode: one record from queue to
@@ -428,9 +462,11 @@ func (s *Shipper) terminalStep() bool {
 	}
 	if _, err := s.cfg.Fallback.Write(line); err != nil {
 		s.pop(&s.stats.Dropped)
+		s.tev("drop", uint64(len(line)), 0)
 		return true
 	}
 	s.pop(&s.stats.Fallback)
+	s.tev("fallback", uint64(len(line)), 0)
 	return true
 }
 
