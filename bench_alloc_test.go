@@ -103,6 +103,48 @@ func TestAllocFreeDataPlaneInstrumented(t *testing.T) {
 	})
 }
 
+// TestAllocFreePipesPerPacket extends the per-packet contract to the
+// sharded front-end. At shards=1 every call forwards synchronously —
+// the profile must be identical to the bare pipeline. At shards>1 the
+// per-packet cost is parse + lock + batch append into pre-allocated
+// capacity: still zero allocations per packet (flush-worker spawns are
+// per-barrier and amortised, never per-packet).
+func TestAllocFreePipesPerPacket(t *testing.T) {
+	ft := allocFlow()
+	for _, shards := range []int{1, 4} {
+		p := dataplane.NewPipes(dataplane.Config{}, shards)
+		data := packet.NewTCP(ft, 1, 0, packet.FlagACK|packet.FlagPSH, 1448)
+		ack := packet.NewTCP(ft.Reverse(), 1, 1449, packet.FlagACK, 0)
+
+		name := func(s string) string { return s }
+		if shards > 1 {
+			name = func(s string) string { return s + " (sharded enqueue)" }
+		}
+		seq := uint64(1)
+		at := simtime.Millisecond
+		assertZeroAllocs(t, name("pipes ingress data"), func() {
+			data.SeqExt = seq
+			data.IPID = uint16(seq)
+			seq += 1448
+			at += 10 * simtime.Microsecond
+			p.ProcessCopy(tap.Copy{Pkt: data, Point: tap.Ingress, At: at})
+		})
+
+		ackNo := uint64(1449)
+		assertZeroAllocs(t, name("pipes ingress ack"), func() {
+			ack.AckExt = ackNo
+			ackNo += 1448
+			at += 10 * simtime.Microsecond
+			p.ProcessCopy(tap.Copy{Pkt: ack, Point: tap.Ingress, At: at})
+		})
+
+		assertZeroAllocs(t, name("pipes egress"), func() {
+			at += 10 * simtime.Microsecond
+			p.ProcessCopy(tap.Copy{Pkt: data, Point: tap.Egress, At: at})
+		})
+	}
+}
+
 // TestAllocFreeObsPrimitives pins the telemetry primitives themselves:
 // counter and gauge mutation, a histogram observation, and a trace-ring
 // append are all single atomic ops or in-place ring writes.

@@ -54,6 +54,30 @@ func BenchmarkFig9PerFlow(b *testing.B) {
 	}
 }
 
+// BenchmarkFig9Sharded runs the Figure 9 multi-flow exhibit with the
+// data plane partitioned across 1, 2 and 4 pipes (dataplane.Pipes).
+// At GOMAXPROCS > 1 the sharded sub-benchmarks replay per-shard
+// batches in parallel at each barrier and should beat the single-pipe
+// wall clock; at one CPU they measure the batching overhead instead
+// (EXPERIMENTS.md records both). Results are shard-count-invariant up
+// to event timing — the merge property test pins the totals.
+func BenchmarkFig9Sharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run("shards="+strconv.Itoa(shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchFig9Cfg()
+				cfg.Scale = experiments.Fast()
+				cfg.Scale.Shards = shards
+				r := experiments.RunFig9(cfg)
+				if len(r.Throughput) != 3 {
+					b.Fatalf("flows visible: %d", len(r.Throughput))
+				}
+				b.ReportMetric(r.ConvergedFairness, "fairness")
+			}
+		})
+	}
+}
+
 // BenchmarkFig10Fairness regenerates the Figure 10 aggregates (link
 // utilisation and Jain's fairness index) from the same run.
 func BenchmarkFig10Fairness(b *testing.B) {

@@ -15,7 +15,7 @@
 // Usage:
 //
 //	collector [--listen :9161] [--logstash HOST:PORT] [--duration 60] [--seed 42]
-//	          [--spool-dir DIR] [--max-spool BYTES] [--mem-spool N]
+//	          [--shards N] [--spool-dir DIR] [--max-spool BYTES] [--mem-spool N]
 //	          [--backoff-min D] [--backoff-max D] [--write-timeout D]
 //	          [--obs-addr :9600]
 //
@@ -75,6 +75,7 @@ func main() {
 	logstash := flag.String("logstash", "", "Logstash TCP input address (default: stdout)")
 	duration := flag.Int("duration", 60, "virtual seconds to run")
 	seed := flag.Uint64("seed", 42, "simulation seed")
+	shards := flag.Int("shards", 1, "data-plane pipes to partition flows across (1 = single pipe)")
 	spoolDir := flag.String("spool-dir", "", "directory for the on-disk report spool during archiver outages (empty disables)")
 	maxSpool := flag.Int64("max-spool", 64<<20, "cap on pending disk-spool bytes before reports degrade to stdout")
 	memSpool := flag.Int("mem-spool", 4096, "in-memory report queue depth (oldest dropped beyond it)")
@@ -117,6 +118,7 @@ func main() {
 	sys := core.NewSystem(core.Options{
 		BottleneckBps: netsim.Mbps(500),
 		Seed:          *seed,
+		Shards:        *shards,
 		ExtraSink:     sink,
 	})
 	guard := &guardedCP{cp: sys.ControlPlane}

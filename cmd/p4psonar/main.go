@@ -2,11 +2,14 @@
 //
 // Usage:
 //
-//	p4psonar run [-paper] [-out DIR] [-seed N] [-cpuprofile F] [-memprofile F]
-//	             [-obs-addr :9600] table1|fig9|fig10|fig11|fig12|fig13|fig14|all
+//	p4psonar run [-paper] [-shards N] [-out DIR] [-seed N] [-cpuprofile F]
+//	             [-memprofile F] [-obs-addr :9600]
+//	             table1|fig9|fig10|fig11|fig12|fig13|fig14|all
 //
 // By default experiments run at fast scale (1/20 bandwidth, identical
 // RTTs and shapes); -paper runs the full 10 Gbps testbed parameters.
+// -shards partitions flows across N independent data-plane pipes
+// (Tofino's multi-pipe model); 1 is the byte-identical single pipe.
 // Each experiment prints its panels as ASCII charts and, with -out,
 // writes CSV series for external plotting. -cpuprofile and -memprofile
 // capture pprof profiles over the selected experiments (see README's
@@ -33,6 +36,7 @@ func main() {
 	}
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	paper := fs.Bool("paper", false, "run at full 10 Gbps paper scale (slow)")
+	shards := fs.Int("shards", 1, "data-plane pipes to partition flows across (1 = single pipe)")
 	out := fs.String("out", "", "directory for CSV output (optional)")
 	seed := fs.Uint64("seed", 42, "simulation seed")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile over the selected experiments to this file")
@@ -76,6 +80,7 @@ func main() {
 	if *paper {
 		scale = experiments.Paper()
 	}
+	scale.Shards = *shards
 
 	run := func(name string) error {
 		fmt.Printf("=== %s (%s scale) ===\n\n", name, scale.Name)
@@ -154,5 +159,5 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: p4psonar run [-paper] [-out DIR] [-seed N] [-cpuprofile F] [-memprofile F] [-obs-addr ADDR] table1|fig9|fig10|fig11|fig12|fig13|fig14|coexistence|all`)
+	fmt.Fprintln(os.Stderr, `usage: p4psonar run [-paper] [-shards N] [-out DIR] [-seed N] [-cpuprofile F] [-memprofile F] [-obs-addr ADDR] table1|fig9|fig10|fig11|fig12|fig13|fig14|coexistence|all`)
 }

@@ -68,6 +68,7 @@ func All() []*Analyzer {
 		UncheckedErrAnalyzer,
 		GoLeakAnalyzer,
 		HotAllocAnalyzer,
+		DocCommentAnalyzer,
 	}
 }
 

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestDocCommentAnalyzer(t *testing.T) {
+	runFixture(t, "doccomment", "doccomment")
+}

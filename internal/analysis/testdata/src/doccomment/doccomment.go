@@ -1,0 +1,66 @@
+package doccomment // want "package doccomment has no package comment"
+
+// The fixture deliberately omits a package comment (the trailing
+// comment above is not a doc comment) so the package-level rule fires
+// alongside the symbol-level ones.
+
+// Documented is fine: an exported type with a doc comment.
+type Documented struct {
+	N int
+}
+
+type Undocumented struct{} // want "exported type Undocumented has no doc comment"
+
+// unexported types never need docs.
+type hidden struct{}
+
+// Grouped declarations: a doc comment on the group covers every spec.
+type (
+	CoveredByGroup struct{}
+	alsoCovered    struct{}
+)
+
+type (
+	BareInGroup struct{} // want "exported type BareInGroup has no doc comment"
+)
+
+// MaxWindow is documented at the spec.
+const MaxWindow = 128
+
+const BareConst = 7 // want "exported const BareConst has no doc comment"
+
+// Register widths for the fixture pipeline.
+const (
+	WidthBytes = 48
+	WidthPkts  = 32
+)
+
+var BareVar int // want "exported var BareVar has no doc comment"
+
+// DefaultName is documented; the unexported sibling needs nothing.
+var (
+	// DefaultName labels the fixture flow.
+	DefaultName = "fixture"
+	internal    = 0
+)
+
+func Exported() {} // want "exported function Exported has no doc comment"
+
+// Documented functions pass.
+func Fine() {}
+
+func helper() {}
+
+// Method checks: exported receiver + exported method needs a doc.
+
+func (d *Documented) Snapshot() int { return d.N } // want "exported method Snapshot has no doc comment"
+
+// Reset is documented.
+func (d *Documented) Reset() { d.N = 0 }
+
+// Unexported receivers are not godoc surface, even for exported names.
+func (h hidden) Publish() {}
+
+func (h hidden) push() {}
+
+func init() { _ = internal; helper(); hidden{}.push() }

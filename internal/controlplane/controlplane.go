@@ -124,7 +124,7 @@ type flowEntry struct {
 type ControlPlane struct {
 	cfg    Config
 	engine *simtime.Engine
-	dp     *dataplane.DataPlane
+	dp     dataplane.Plane
 	sink   Sink
 
 	flows   map[dataplane.FlowID]*flowEntry
@@ -148,9 +148,10 @@ type ControlPlane struct {
 	started bool
 }
 
-// New wires a control plane to a data plane and a report sink. Call
-// Start to begin extraction.
-func New(e *simtime.Engine, dp *dataplane.DataPlane, sink Sink, cfg Config) *ControlPlane {
+// New wires a control plane to a data plane — a single *DataPlane or
+// the sharded *Pipes front-end, both of which implement
+// dataplane.Plane — and a report sink. Call Start to begin extraction.
+func New(e *simtime.Engine, dp dataplane.Plane, sink Sink, cfg Config) *ControlPlane {
 	cp := &ControlPlane{
 		cfg:       cfg.withDefaults(),
 		engine:    e,
@@ -160,8 +161,8 @@ func New(e *simtime.Engine, dp *dataplane.DataPlane, sink Sink, cfg Config) *Con
 		tickers:   make(map[Metric]*simtime.Ticker),
 		escalated: make(map[Metric]bool),
 	}
-	dp.OnLongFlow = cp.onLongFlow
-	dp.OnMicroburst = cp.onMicroburst
+	dp.SetLongFlowHandler(cp.onLongFlow)
+	dp.SetMicroburstHandler(cp.onMicroburst)
 	return cp
 }
 
@@ -278,6 +279,10 @@ func (cp *ControlPlane) sortedFlows() []*flowEntry {
 // registers of every tracked flow, derive the value, report it, and
 // apply the alert policy.
 func (cp *ControlPlane) extract(m Metric, now simtime.Time) {
+	// Establish the multi-pipe barrier first: any batched packet work
+	// is replayed and pending long-flow announcements land in cp.flows
+	// before this tick iterates the directory (no-op on one pipe).
+	cp.dp.Flush()
 	if cp.obs != nil {
 		defer cp.observeExtract(time.Now(), len(cp.flows))
 	}
@@ -475,6 +480,7 @@ func (cp *ControlPlane) applyAlertPolicy(m Metric, maxValue float64, now simtime
 // sweepTerminated ends flows that saw a FIN or went idle, emitting the
 // terminated-long-flow report of §3.3.2 and releasing the registers.
 func (cp *ControlPlane) sweepTerminated(now simtime.Time) {
+	cp.dp.Flush()
 	for _, f := range cp.sortedFlows() {
 		snap := cp.dp.ReadFlow(f.id, f.revID)
 		idle := snap.LastSeen > 0 && now-snap.LastSeen > cp.cfg.IdleTimeout

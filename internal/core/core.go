@@ -48,6 +48,12 @@ type Options struct {
 	Seed uint64
 	// DataPlane tunes the P4 pipeline; zero values take the defaults.
 	DataPlane dataplane.Config
+	// Shards is the number of independent data-plane pipes the flows
+	// are partitioned across (the multi-pipe model of a Tofino ASIC).
+	// 0 or 1 runs the single-pipe pipeline with byte-identical output;
+	// higher values batch per-shard work and replay it in parallel at
+	// barriers (see dataplane.Pipes).
+	Shards int
 	// ControlPlane tunes extraction and alerting; LinkCapacityBps and
 	// BufferBytes are filled in from the topology automatically.
 	ControlPlane controlplane.Config
@@ -117,9 +123,11 @@ type System struct {
 	// for the Fig. 12 network-loss test).
 	ExternalAccessLinks [ExternalNetworks]*netsim.Link
 
-	// Measurement chain.
+	// Measurement chain. DataPlane is the sharded front-end (a single
+	// pipe unless Options.Shards > 1); reads through it always see the
+	// merged multi-pipe view.
 	Taps         *tap.Pair
-	DataPlane    *dataplane.DataPlane
+	DataPlane    *dataplane.Pipes
 	ControlPlane *controlplane.ControlPlane
 	Pipeline     *psarchiver.Pipeline
 	Store        *psarchiver.Store
@@ -206,7 +214,7 @@ func NewSystem(opts Options) *System {
 		drain := simtime.Time(float64(opts.BufferBytes*8) / opts.BottleneckBps * 1e9)
 		dpCfg.BurstFloor = drain / 10
 	}
-	s.DataPlane = dataplane.New(dpCfg)
+	s.DataPlane = dataplane.NewPipes(dpCfg, opts.Shards)
 	s.Taps = tap.NewPair(e, s.DataPlane)
 	// The egress TAP mirrors the WAN-side port only — the monitored
 	// bottleneck queue of §4.2 — so queue-delay and microburst signals

@@ -1,3 +1,11 @@
+// Package dataplane reproduces the paper's P4 measurement pipeline in
+// pure Go: per-flow registers (bytes, packets, loss, RTT, flight,
+// queue delay), a count-min sketch, and microburst/long-flow
+// detection, all driven by TAP copies at line rate with zero
+// allocations per packet. DataPlane is one pipe; Pipes shards flows
+// across several pipes by canonical flow-key hash — Tofino's
+// multi-pipe model — and presents the merged view the control plane
+// extracts from (see DESIGN.md §5.4 for the merge semantics).
 package dataplane
 
 import (
@@ -85,21 +93,36 @@ func (c Config) WithDefaults() Config {
 // the long-flow threshold: "the ID of the flow, its source and
 // destination IP, and its reversed ID" (§4).
 type LongFlowEvent struct {
+	// ID is the flow's hash identifier; RevID identifies the reverse
+	// direction (the paper announces both so the control plane can join
+	// RTT samples stored under the ACK flow's ID).
 	ID    FlowID
 	RevID FlowID
+	// Tuple is the announced flow's 5-tuple.
 	Tuple packet.FiveTuple
-	At    simtime.Time
+	// At is the simulation time of the announcement.
+	At simtime.Time
+	// Bytes is the sketch's byte estimate when the threshold tripped.
 	Bytes uint64
+	// Shard is the pipe that observed the flow (always 0 on an
+	// unsharded pipeline; see Pipes).
+	Shard int
 }
 
 // MicroburstEvent reports one detected microburst with nanosecond
 // granularity (§3.3.3): its start time, duration, peak queuing delay
 // and how many packets rode the burst.
 type MicroburstEvent struct {
-	Start     simtime.Time
-	Duration  simtime.Time
+	// Start and Duration bound the burst in simulation time.
+	Start    simtime.Time
+	Duration simtime.Time
+	// PeakDelay is the largest queuing delay observed inside the burst.
 	PeakDelay simtime.Time
-	Packets   int
+	// Packets counts the packets that rode the burst.
+	Packets int
+	// Shard is the pipe whose egress queue saw the burst (always 0 on
+	// an unsharded pipeline; see Pipes).
+	Shard int
 }
 
 // Stats counts pipeline-internal events, exposed for tests and the
@@ -246,6 +269,66 @@ func New(cfg Config) *DataPlane {
 // Config returns the pipeline configuration after defaulting.
 func (d *DataPlane) Config() Config { return d.cfg }
 
+// view is the parsed, value-typed form of one TAP copy: every packet
+// field the measurement program reads, captured before the tap pair
+// recycles the packet. The sharded front-end (Pipes) batches views and
+// replays them on worker goroutines, so nothing downstream of
+// parseCopy may retain a *packet.Packet.
+type view struct {
+	key      FlowKey
+	tuple    packet.FiveTuple
+	at       simtime.Time
+	dstKey   uint64 // packed IPv4 destination, monitor-table key
+	seqExt   uint64
+	ackExt   uint64
+	expAck   uint64 // precomputed ExpectedAck (pure function of the header)
+	point    tap.CopyPoint
+	totalLen uint16
+	ipid     uint16
+	proto    packet.Proto
+	flags    uint8
+	data     bool // CarriesData
+	ackOnly  bool // IsACKOnly
+}
+
+// parseCopy extracts the pipeline's working set from a TAP copy. The
+// packed flow key is computed exactly once here; every derived hash
+// (flow ID, reversed ID, CMS rows) reuses its bytes. Egress copies
+// parse light: the egress program (queue-delay pairing + microburst
+// detection) reads only the flow hash, the IP ID and the timestamp,
+// so the full header capture would be pure per-packet overhead on
+// half the TAP stream.
+//
+// p4:hotpath
+func parseCopy(c tap.Copy) view {
+	pkt := c.Pkt
+	if c.Point == tap.Egress {
+		return view{
+			key:   KeyOf(pkt.FiveTuple()),
+			at:    c.At,
+			ipid:  pkt.IPID,
+			point: tap.Egress,
+		}
+	}
+	ft := pkt.FiveTuple()
+	return view{
+		key:      KeyOf(ft),
+		tuple:    ft,
+		at:       c.At,
+		dstKey:   ipKey(pkt.DstIP),
+		seqExt:   pkt.SeqExt,
+		ackExt:   pkt.AckExt,
+		expAck:   pkt.ExpectedAck(),
+		point:    c.Point,
+		totalLen: pkt.TotalLen,
+		ipid:     pkt.IPID,
+		proto:    pkt.Proto,
+		flags:    pkt.Flags,
+		data:     pkt.CarriesData(),
+		ackOnly:  pkt.IsACKOnly(),
+	}
+}
+
 // ProcessCopy implements tap.Monitor. Ingress copies drive the
 // measurement algorithms; egress copies close the queuing-delay
 // measurement and feed the microburst detector. Copies are not retained:
@@ -253,33 +336,42 @@ func (d *DataPlane) Config() Config { return d.cfg }
 //
 // p4:hotpath
 func (d *DataPlane) ProcessCopy(c tap.Copy) {
-	switch c.Point {
+	v := parseCopy(c)
+	d.processView(&v)
+}
+
+// processView runs one parsed copy through the match-action stages.
+// It is the replay entry point the sharded front-end uses after
+// batching; ProcessCopy is parseCopy + processView.
+//
+// p4:hotpath
+func (d *DataPlane) processView(v *view) {
+	switch v.point {
 	case tap.Ingress:
 		d.Stats.IngressCopies++
 		if o := d.obs; o != nil {
 			o.ingressCopies.Inc()
 		}
-		d.processIngress(c.Pkt, c.At)
+		d.processIngress(v)
 	case tap.Egress:
 		d.Stats.EgressCopies++
 		if o := d.obs; o != nil {
 			o.egressCopies.Inc()
 		}
-		d.processEgress(c.Pkt, c.At)
+		d.processEgress(v)
 	}
 }
 
 // processIngress executes the per-packet measurement program: byte and
 // packet counting, long-flow detection, Algorithm 1 (RTT and packet
-// loss), flight-size tracking and inter-arrival times. The packed flow
-// key is computed exactly once here; every derived hash (flow ID,
-// reversed ID, CMS rows) reuses its bytes.
+// loss), flight-size tracking and inter-arrival times.
 //
 // p4:hotpath
-func (d *DataPlane) processIngress(pkt *packet.Packet, now simtime.Time) {
+func (d *DataPlane) processIngress(v *view) {
+	now := v.at
 	// The monitor table decides whether this packet enters the
 	// measurement program at all.
-	if action, _, _ := d.monitorTable.Lookup([]uint64{ipKey(pkt.DstIP)}); action == "skip" {
+	if action, _, _ := d.monitorTable.Lookup([]uint64{v.dstKey}); action == "skip" {
 		d.Stats.SkippedPackets++
 		if o := d.obs; o != nil {
 			o.skipped.Inc()
@@ -287,19 +379,18 @@ func (d *DataPlane) processIngress(pkt *packet.Packet, now simtime.Time) {
 		return
 	}
 
-	ft := pkt.FiveTuple()
-	key := KeyOf(ft)
+	key := v.key
 	id := key.Hash()
 	idx := uint32(id)
 
 	// Stamp the ingress time for queuing-delay pairing with the egress
 	// copy (both directions transit the core switch).
-	qidx := hash2(id, uint64(pkt.IPID))
-	d.qSig.Write(qidx, uint64(id)<<16|uint64(pkt.IPID))
+	qidx := hash2(id, uint64(v.ipid))
+	d.qSig.Write(qidx, uint64(id)<<16|uint64(v.ipid))
 	d.qTS.Write(qidx, uint64(now))
 
 	// Byte and packet counters come from the IPv4 total-length field.
-	d.bytesReg.Add(idx, uint64(pkt.TotalLen))
+	d.bytesReg.Add(idx, uint64(v.totalLen))
 	d.pktsReg.Add(idx, 1)
 	if d.firstSeen.Read(idx) == 0 {
 		d.firstSeen.Write(idx, uint64(now))
@@ -312,15 +403,15 @@ func (d *DataPlane) processIngress(pkt *packet.Packet, now simtime.Time) {
 	}
 	d.ownerLo.Write(idx, uint64(id))
 
-	if pkt.Proto == packet.ProtoTCP && pkt.Flags&packet.FlagFIN != 0 {
+	if v.proto == packet.ProtoTCP && v.flags&packet.FlagFIN != 0 {
 		d.finSeenReg.Write(idx, 1)
 	}
 
 	switch {
-	case pkt.CarriesData():
-		d.processData(pkt, ft, key, id, idx, now)
-	case pkt.IsACKOnly():
-		d.processAck(pkt, key, id, now)
+	case v.data:
+		d.processData(v, key, id, idx, now)
+	case v.ackOnly:
+		d.processAck(v, key, id, now)
 	}
 }
 
@@ -328,7 +419,7 @@ func (d *DataPlane) processIngress(pkt *packet.Packet, now simtime.Time) {
 // long-flow, flight and IAT bookkeeping.
 //
 // p4:hotpath
-func (d *DataPlane) processData(pkt *packet.Packet, ft packet.FiveTuple, key FlowKey, id FlowID, idx uint32, now simtime.Time) {
+func (d *DataPlane) processData(v *view, key FlowKey, id FlowID, idx uint32, now simtime.Time) {
 	// Inter-arrival time (the mmWave blockage signal, §5.4.3).
 	if last := d.lastArrReg.Read(idx); last != 0 {
 		iat := uint64(now) - last
@@ -337,35 +428,35 @@ func (d *DataPlane) processData(pkt *packet.Packet, ft packet.FiveTuple, key Flo
 	d.lastArrReg.Write(idx, uint64(now))
 
 	// Long-flow detection via the count-min sketch.
-	est := d.cms.UpdateKey(key, uint64(pkt.TotalLen))
+	est := d.cms.UpdateKey(key, uint64(v.totalLen))
 	if est >= d.cfg.LongFlowBytes && d.announced.Read(idx) == 0 {
 		d.announced.Write(idx, 1)
 		if d.OnLongFlow != nil {
 			d.OnLongFlow(LongFlowEvent{
 				ID:    id,
 				RevID: key.Reverse().Hash(),
-				Tuple: ft,
+				Tuple: v.tuple,
 				At:    now,
 				Bytes: est,
 			})
 		}
 	}
 
-	if pkt.Proto != packet.ProtoTCP {
+	if v.proto != packet.ProtoTCP {
 		return
 	}
 
 	// Algorithm 1, Seq branch: a sequence number below the previous one
 	// is a retransmission, i.e. evidence of packet loss.
 	prev := d.prevSeqReg.Read(idx)
-	if pkt.SeqExt < prev {
+	if v.seqExt < prev {
 		d.pktLossReg.Add(idx, 1)
 	} else {
-		d.prevSeqReg.Write(idx, pkt.SeqExt)
+		d.prevSeqReg.Write(idx, v.seqExt)
 
 		// Store the expected-ACK signature and timestamp.
 		revID := key.Reverse().Hash()
-		eack := pkt.ExpectedAck()
+		eack := v.expAck
 		sig := uint64(revID)<<32 | (eack & 0xffffffff)
 		eidx := hash2(revID, eack)
 		if old := d.eackSig.Read(eidx); old != 0 && old != sig {
@@ -376,7 +467,7 @@ func (d *DataPlane) processData(pkt *packet.Packet, ft packet.FiveTuple, key Flo
 	}
 
 	// Flight size numerator: highest sequence byte dispatched.
-	d.highSeqReg.Max(idx, pkt.ExpectedAck())
+	d.highSeqReg.Max(idx, v.expAck)
 	d.updateFlight(idx, now)
 }
 
@@ -385,8 +476,8 @@ func (d *DataPlane) processData(pkt *packet.Packet, ft packet.FiveTuple, key Flo
 // advance the data flow's acknowledged high-water mark.
 //
 // p4:hotpath
-func (d *DataPlane) processAck(pkt *packet.Packet, key FlowKey, id FlowID, now simtime.Time) {
-	ack := pkt.AckExt
+func (d *DataPlane) processAck(v *view, key FlowKey, id FlowID, now simtime.Time) {
+	ack := v.ackExt
 	sig := uint64(id)<<32 | (ack & 0xffffffff)
 	eidx := hash2(id, ack)
 	if d.eackSig.Read(eidx) == sig {
@@ -439,10 +530,11 @@ func (d *DataPlane) updateFlight(idx uint32, now simtime.Time) {
 // microburst detector (§3.3.3).
 //
 // p4:hotpath
-func (d *DataPlane) processEgress(pkt *packet.Packet, now simtime.Time) {
-	id := HashFiveTuple(pkt.FiveTuple())
-	qidx := hash2(id, uint64(pkt.IPID))
-	want := uint64(id)<<16 | uint64(pkt.IPID)
+func (d *DataPlane) processEgress(v *view) {
+	now := v.at
+	id := v.key.Hash()
+	qidx := hash2(id, uint64(v.ipid))
+	want := uint64(id)<<16 | uint64(v.ipid)
 	if d.qSig.Read(qidx) != want {
 		d.Stats.QSigMismatches++
 		return
@@ -542,6 +634,50 @@ func (d *DataPlane) updateQBaseline(q float64, now simtime.Time, scale float64) 
 // CurrentQueueDelay returns the most recent per-packet queuing delay —
 // what a control plane sampling the queue would read.
 func (d *DataPlane) CurrentQueueDelay() simtime.Time { return d.lastQDelay }
+
+// SetLongFlowHandler installs the long-flow digest callback (part of
+// the Plane interface shared with the sharded front-end).
+func (d *DataPlane) SetLongFlowHandler(fn func(LongFlowEvent)) { d.OnLongFlow = fn }
+
+// SetMicroburstHandler installs the microburst digest callback (part
+// of the Plane interface shared with the sharded front-end).
+func (d *DataPlane) SetMicroburstHandler(fn func(MicroburstEvent)) { d.OnMicroburst = fn }
+
+// StatsSnapshot returns the pipeline-internal event counters (part of
+// the Plane interface; for a single pipe it is simply a copy of
+// Stats).
+func (d *DataPlane) StatsSnapshot() Stats { return d.Stats }
+
+// Flush is a no-op on a single pipe: every copy is processed
+// synchronously. It exists so DataPlane satisfies the Plane interface
+// the sharded front-end defines a real barrier for.
+func (d *DataPlane) Flush() {}
+
+// Plane is the pipeline surface the control plane drives: per-flow
+// extraction, window resets, flow release, sketch clearing and the
+// data-plane digest hooks. Both a single *DataPlane and the sharded
+// *Pipes front-end implement it, so control-plane code is agnostic to
+// how many pipes carry traffic.
+type Plane interface {
+	// ReadFlow extracts the merged per-flow snapshot for a flow and
+	// its reverse direction.
+	ReadFlow(id, revID FlowID) FlowSnapshot
+	// ResetWindow clears the per-window registers (flight min/max,
+	// max IAT) after an extraction cycle.
+	ResetWindow(id FlowID)
+	// ReleaseFlow returns a terminated flow's cells to the pool.
+	ReleaseFlow(id FlowID)
+	// ClearCMS zeroes the long-flow sketch (periodic decay).
+	ClearCMS()
+	// Flush establishes the barrier: all batched packet work is
+	// replayed and joined, and deferred events are delivered, before
+	// Flush returns. A no-op on an unsharded pipeline.
+	Flush()
+	// SetLongFlowHandler and SetMicroburstHandler install the digest
+	// callbacks that deliver data-plane events upward.
+	SetLongFlowHandler(func(LongFlowEvent))
+	SetMicroburstHandler(func(MicroburstEvent))
+}
 
 // MonitorTable exposes the monitored-subnets match-action table for
 // control-plane programming (directly or through the p4runtime layer).

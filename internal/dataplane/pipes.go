@@ -1,0 +1,568 @@
+package dataplane
+
+import (
+	"net/netip"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/simtime"
+	"repro/internal/tap"
+)
+
+// pipeBatch is the per-shard batch capacity: how many parsed copies a
+// shard queues before the front-end forces a barrier flush. Sized so a
+// typical inter-extraction interval batches hundreds of packets per
+// shard while bounding the state replayed at each barrier.
+const pipeBatch = 1024
+
+// Pipes is the multi-pipe front-end: it partitions flows across N
+// independent DataPlane shards the way a Tofino's traffic manager
+// spreads ports across pipes, each pipe owning a private register
+// file, CMS and microburst detector. Both directions of a flow land
+// on the same shard (the partition hashes the canonical of the key
+// and its reverse), so Algorithm 1's eACK matching and RTT pairing
+// keep working unchanged inside one shard.
+//
+// With shards == 1 every call forwards synchronously to the single
+// pipe — byte-identical behaviour and an unchanged 0 allocs/op hot
+// path. With shards > 1, ProcessCopy parses the TAP copy into a value
+// view and appends it to the owning shard's pre-allocated batch;
+// batches are replayed by a bounded worker pool (one worker never
+// touches two shards at once) and joined at a barrier before any
+// state is read. Packets destined to distinct shards commute — shard
+// state is disjoint by construction — so the deferred replay produces
+// exactly the per-shard state a serial run would, and every read API
+// (ReadFlow, StatsSnapshot, registers, occupancy, CMS) flushes first
+// and then merges across shards (see DESIGN.md §5.4 for the merge
+// semantics per register kind).
+//
+// Concurrency contract: all methods are safe for concurrent use at
+// any shard count (shards > 1 serialises on an internal mutex; at
+// shards == 1 the caller must serialise, as with a bare DataPlane).
+// Long-flow and microburst handlers run while that mutex is held and
+// must not call back into Pipes.
+type Pipes struct {
+	shards []*DataPlane
+	n      int
+
+	// OnLongFlow and OnMicroburst deliver the merged event streams.
+	// Events carry the originating shard id; at shards > 1 they are
+	// delivered at the next barrier, in shard order, with original
+	// timestamps. Set them via SetLongFlowHandler/SetMicroburstHandler.
+	OnLongFlow   func(LongFlowEvent)
+	OnMicroburst func(MicroburstEvent)
+
+	mu      sync.Mutex
+	batches [][]view
+	work    []int        // scratch: shards with a non-empty batch this flush
+	cursor  atomic.Int64 // work-stealing cursor for the flush workers
+	workers int
+
+	// Per-shard deferred event buffers, appended by shard hooks during
+	// worker replay (single writer per index) and drained in shard
+	// order at the barrier.
+	lfPend [][]LongFlowEvent
+	mbPend [][]MicroburstEvent
+
+	flushes      uint64
+	batchedViews uint64
+}
+
+// NewPipes builds shards independent pipelines behind one front-end.
+// shards < 1 is treated as 1. Every shard gets the same Config (same
+// FlowTableSize, so a flow aliases the same cell index on whichever
+// shard owns it — the property the merge semantics rely on).
+func NewPipes(cfg Config, shards int) *Pipes {
+	if shards < 1 {
+		shards = 1
+	}
+	p := &Pipes{n: shards, shards: make([]*DataPlane, shards)}
+	for i := range p.shards {
+		p.shards[i] = New(cfg)
+	}
+	if shards == 1 {
+		d := p.shards[0]
+		d.OnLongFlow = func(ev LongFlowEvent) {
+			if p.OnLongFlow != nil {
+				p.OnLongFlow(ev)
+			}
+		}
+		d.OnMicroburst = func(ev MicroburstEvent) {
+			if p.OnMicroburst != nil {
+				p.OnMicroburst(ev)
+			}
+		}
+		return p
+	}
+	p.workers = runtime.GOMAXPROCS(0)
+	if p.workers > shards {
+		p.workers = shards
+	}
+	p.batches = make([][]view, shards)
+	p.work = make([]int, 0, shards)
+	p.lfPend = make([][]LongFlowEvent, shards)
+	p.mbPend = make([][]MicroburstEvent, shards)
+	for i := range p.shards {
+		i := i
+		p.batches[i] = make([]view, 0, pipeBatch)
+		p.shards[i].OnLongFlow = func(ev LongFlowEvent) {
+			ev.Shard = i
+			p.lfPend[i] = append(p.lfPend[i], ev)
+		}
+		p.shards[i].OnMicroburst = func(ev MicroburstEvent) {
+			ev.Shard = i
+			p.mbPend[i] = append(p.mbPend[i], ev)
+		}
+	}
+	return p
+}
+
+// NumShards returns the pipe count.
+func (p *Pipes) NumShards() int { return p.n }
+
+// Shard exposes one underlying pipe for white-box tests and per-shard
+// telemetry. Reading shard state directly while traffic is in flight
+// at shards > 1 bypasses the barrier; call a merged read first.
+func (p *Pipes) Shard(i int) *DataPlane { return p.shards[i] }
+
+// Config returns the (defaulted) per-shard pipeline configuration.
+func (p *Pipes) Config() Config { return p.shards[0].Config() }
+
+// canonicalKey returns the lexicographically smaller of a flow key and
+// its reverse: one stable representative for both directions, so the
+// partition below sends a flow's data and its ACK stream to the same
+// shard (Algorithm 1 stores eACK state under the reversed ID and the
+// ACK must find it).
+//
+// p4:hotpath
+func canonicalKey(k FlowKey) FlowKey {
+	r := k.Reverse()
+	for i := 0; i < len(k); i++ {
+		if k[i] != r[i] {
+			if r[i] < k[i] {
+				return r
+			}
+			return k
+		}
+	}
+	return k
+}
+
+// shardOf is the partition function: FlowKey.Hash() of the canonical
+// key, modulo the pipe count.
+//
+// p4:hotpath
+func shardOf(k FlowKey, n int) int {
+	return int(uint32(canonicalKey(k).Hash()) % uint32(n))
+}
+
+// ProcessCopy implements tap.Monitor. At shards == 1 it forwards
+// synchronously. At shards > 1 it parses the copy into a value view
+// (the tap pair may recycle the packet immediately) and appends it to
+// the owning shard's pre-allocated batch — no per-packet goroutines,
+// no per-packet allocation; a full batch triggers a barrier flush.
+//
+// p4:hotpath
+func (p *Pipes) ProcessCopy(c tap.Copy) {
+	if p.n == 1 {
+		p.shards[0].ProcessCopy(c)
+		return
+	}
+	v := parseCopy(c)
+	s := shardOf(v.key, p.n)
+	p.mu.Lock()
+	p.batches[s] = append(p.batches[s], v)
+	p.batchedViews++
+	if len(p.batches[s]) == cap(p.batches[s]) {
+		p.flushLocked()
+	}
+	p.mu.Unlock()
+}
+
+// Flush forces the barrier: every batched view is replayed on its
+// shard and joined before Flush returns. The engine (or any caller
+// about to read state) uses it to re-establish the serial-equivalent
+// view. A no-op at shards == 1.
+func (p *Pipes) Flush() {
+	if p.n == 1 {
+		return
+	}
+	p.mu.Lock()
+	p.flushLocked()
+	p.mu.Unlock()
+}
+
+// flushLocked replays all pending batches. Shards with work are
+// handed to min(GOMAXPROCS, pending) workers via a stealing cursor;
+// each worker replays whole shards, so per-shard state stays
+// single-writer. The WaitGroup join is the barrier (and the
+// happens-before edge making worker writes visible to the caller).
+// Deferred shard events are delivered after the join, in shard order.
+func (p *Pipes) flushLocked() {
+	work := p.work[:0]
+	for i := range p.batches {
+		if len(p.batches[i]) > 0 {
+			work = append(work, i)
+		}
+	}
+	p.work = work
+	if len(work) == 0 {
+		return
+	}
+	p.flushes++
+	if w := min(p.workers, len(work)); w <= 1 {
+		for _, i := range work {
+			p.replayShard(i)
+		}
+	} else {
+		p.cursor.Store(0)
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for k := 0; k < w; k++ {
+			go func() {
+				defer wg.Done()
+				for {
+					j := int(p.cursor.Add(1)) - 1
+					if j >= len(p.work) {
+						return
+					}
+					p.replayShard(p.work[j])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	p.deliverPendingLocked()
+}
+
+// replayShard drains one shard's batch through its pipeline. Called
+// either serially or from exactly one flush worker at a time.
+func (p *Pipes) replayShard(i int) {
+	b := p.batches[i]
+	d := p.shards[i]
+	for k := range b {
+		d.processView(&b[k])
+	}
+	p.batches[i] = b[:0]
+}
+
+// deliverPendingLocked drains the deferred long-flow and microburst
+// buffers in shard order. Handlers run under the front-end mutex and
+// must not call back into Pipes.
+func (p *Pipes) deliverPendingLocked() {
+	for i := 0; i < p.n; i++ {
+		if evs := p.lfPend[i]; len(evs) > 0 {
+			for _, ev := range evs {
+				if p.OnLongFlow != nil {
+					p.OnLongFlow(ev)
+				}
+			}
+			p.lfPend[i] = evs[:0]
+		}
+		if evs := p.mbPend[i]; len(evs) > 0 {
+			for _, ev := range evs {
+				if p.OnMicroburst != nil {
+					p.OnMicroburst(ev)
+				}
+			}
+			p.mbPend[i] = evs[:0]
+		}
+	}
+}
+
+// SetLongFlowHandler installs the merged long-flow digest callback.
+func (p *Pipes) SetLongFlowHandler(fn func(LongFlowEvent)) {
+	if p.n == 1 {
+		p.OnLongFlow = fn
+		return
+	}
+	p.mu.Lock()
+	p.OnLongFlow = fn
+	p.mu.Unlock()
+}
+
+// SetMicroburstHandler installs the merged microburst callback.
+func (p *Pipes) SetMicroburstHandler(fn func(MicroburstEvent)) {
+	if p.n == 1 {
+		p.OnMicroburst = fn
+		return
+	}
+	p.mu.Lock()
+	p.OnMicroburst = fn
+	p.mu.Unlock()
+}
+
+// ReadFlow flushes, then merges the per-flow snapshot across shards:
+// additive registers sum (bytes, packets, loss, flight), timestamps
+// and high-water marks take the max (RTT, queue delay, last seen,
+// window flight max, max IAT), first-write-wins registers take the
+// smallest non-zero value (first seen), the window flight minimum
+// takes the min (its no-sample sentinel is all-ones, so min is the
+// correct identity), and flags OR. Because every shard uses the same
+// FlowTableSize, a flow aliases the same cell index everywhere and
+// the merged value equals what a single pipe would hold — including
+// under cell aliasing (DESIGN.md §5.4).
+func (p *Pipes) ReadFlow(id, revID FlowID) FlowSnapshot {
+	if p.n == 1 {
+		return p.shards[0].ReadFlow(id, revID)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flushLocked()
+	var s FlowSnapshot
+	s.FlightMinW = flightNoSample
+	for _, d := range p.shards {
+		m := d.ReadFlow(id, revID)
+		s.Bytes += m.Bytes
+		s.Pkts += m.Pkts
+		s.PktLoss += m.PktLoss
+		s.Flight += m.Flight
+		s.RTT = max(s.RTT, m.RTT)
+		s.QDelay = max(s.QDelay, m.QDelay)
+		s.FlightMaxW = max(s.FlightMaxW, m.FlightMaxW)
+		s.MaxIAT = max(s.MaxIAT, m.MaxIAT)
+		s.LastSeen = max(s.LastSeen, m.LastSeen)
+		if m.FirstSeen != 0 && (s.FirstSeen == 0 || m.FirstSeen < s.FirstSeen) {
+			s.FirstSeen = m.FirstSeen
+		}
+		if m.FlightMinW < s.FlightMinW {
+			s.FlightMinW = m.FlightMinW
+		}
+		s.FinSeen = s.FinSeen || m.FinSeen
+	}
+	return s
+}
+
+// ResetWindow flushes, then clears the per-window registers on every
+// shard (only the owning shard holds state, but a broadcast is what a
+// multi-pipe control plane issues).
+func (p *Pipes) ResetWindow(id FlowID) {
+	if p.n == 1 {
+		p.shards[0].ResetWindow(id)
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flushLocked()
+	for _, d := range p.shards {
+		d.ResetWindow(id)
+	}
+}
+
+// ReleaseFlow flushes, then releases the flow's cells on every shard.
+func (p *Pipes) ReleaseFlow(id FlowID) {
+	if p.n == 1 {
+		p.shards[0].ReleaseFlow(id)
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flushLocked()
+	for _, d := range p.shards {
+		d.ReleaseFlow(id)
+	}
+}
+
+// ClearCMS flushes, then clears every shard's long-flow sketch.
+func (p *Pipes) ClearCMS() {
+	if p.n == 1 {
+		p.shards[0].ClearCMS()
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flushLocked()
+	for _, d := range p.shards {
+		d.ClearCMS()
+	}
+}
+
+// EstimateKey flushes, then sums the sketch estimate across shards
+// (each shard's CMS counted only its own packets, so the sum is the
+// whole-traffic estimate a single sketch would give, modulo the
+// one-sided CMS overestimation error each shard contributes).
+func (p *Pipes) EstimateKey(k FlowKey) uint64 {
+	if p.n == 1 {
+		return p.shards[0].Sketch().EstimateKey(k)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flushLocked()
+	var est uint64
+	for _, d := range p.shards {
+		est += d.Sketch().EstimateKey(k)
+	}
+	return est
+}
+
+// StatsSnapshot flushes, then returns the pipeline counters summed
+// across shards.
+func (p *Pipes) StatsSnapshot() Stats {
+	if p.n == 1 {
+		return p.shards[0].Stats
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flushLocked()
+	var s Stats
+	for _, d := range p.shards {
+		s.IngressCopies += d.Stats.IngressCopies
+		s.EgressCopies += d.Stats.EgressCopies
+		s.RTTSamples += d.Stats.RTTSamples
+		s.EACKEvictions += d.Stats.EACKEvictions
+		s.QSigMismatches += d.Stats.QSigMismatches
+		s.SlotCollisions += d.Stats.SlotCollisions
+		s.Microbursts += d.Stats.Microbursts
+		s.SkippedPackets += d.Stats.SkippedPackets
+	}
+	return s
+}
+
+// OccupiedCells flushes, then sums flow-table occupancy across shards
+// (shard flow sets are disjoint, so the sum is the union's size up to
+// per-shard cell aliasing).
+func (p *Pipes) OccupiedCells() uint64 {
+	if p.n == 1 {
+		return p.shards[0].OccupiedCells()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flushLocked()
+	var n uint64
+	for _, d := range p.shards {
+		n += d.OccupiedCells()
+	}
+	return n
+}
+
+// CurrentQueueDelay flushes, then returns the most recent queuing
+// delay across shards — the freshest egress observation on any pipe.
+func (p *Pipes) CurrentQueueDelay() simtime.Time {
+	if p.n == 1 {
+		return p.shards[0].CurrentQueueDelay()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flushLocked()
+	var latest simtime.Time
+	var q simtime.Time
+	for _, d := range p.shards {
+		if d.lastEgress >= latest {
+			latest = d.lastEgress
+			q = d.lastQDelay
+		}
+	}
+	return q
+}
+
+// RegisterNames lists the per-shard register instances (identical on
+// every shard), sorted.
+func (p *Pipes) RegisterNames() []string { return p.shards[0].RegisterNames() }
+
+// HasRegister reports whether the pipeline declares a register with
+// this P4 name.
+func (p *Pipes) HasRegister(name string) bool { return p.shards[0].RegisterByName(name) != nil }
+
+// RegisterWidth returns the declared bit width of a register, or 0 if
+// unknown.
+func (p *Pipes) RegisterWidth(name string) int {
+	r := p.shards[0].RegisterByName(name)
+	if r == nil {
+		return 0
+	}
+	return r.Width()
+}
+
+// ReadRegister flushes, then merges one register cell across shards
+// using the register's kind: additive counters sum; first-write-wins
+// stamps take the smallest non-zero value; the window flight minimum
+// takes the min; everything else (timestamps, high-water marks,
+// signatures) takes the max, which on signature tables picks the one
+// shard that owns the cell. Returns false for an unknown register.
+func (p *Pipes) ReadRegister(name string, idx uint32) (uint64, bool) {
+	if p.shards[0].RegisterByName(name) == nil {
+		return 0, false
+	}
+	if p.n == 1 {
+		return p.shards[0].RegisterByName(name).Read(idx), true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flushLocked()
+	return p.mergeRegisterLocked(name, idx), true
+}
+
+// mergeRegisterLocked applies the per-kind merge for one cell.
+func (p *Pipes) mergeRegisterLocked(name string, idx uint32) uint64 {
+	switch name {
+	case "flow_bytes", "flow_pkts", "pkt_loss", "flight":
+		var sum uint64
+		for _, d := range p.shards {
+			sum += d.RegisterByName(name).Read(idx)
+		}
+		return sum
+	case "first_seen":
+		var first uint64
+		for _, d := range p.shards {
+			v := d.RegisterByName(name).Read(idx)
+			if v != 0 && (first == 0 || v < first) {
+				first = v
+			}
+		}
+		return first
+	case "flight_min_w":
+		m := uint64(flightNoSample)
+		for _, d := range p.shards {
+			if v := d.RegisterByName(name).Read(idx); v < m {
+				m = v
+			}
+		}
+		return m
+	default:
+		var m uint64
+		for _, d := range p.shards {
+			if v := d.RegisterByName(name).Read(idx); v > m {
+				m = v
+			}
+		}
+		return m
+	}
+}
+
+// WriteRegister flushes, then writes the value to the cell on every
+// shard (the runtime API's register reset semantics). Returns false
+// for an unknown register.
+func (p *Pipes) WriteRegister(name string, idx uint32, v uint64) bool {
+	if p.shards[0].RegisterByName(name) == nil {
+		return false
+	}
+	if p.n == 1 {
+		p.shards[0].RegisterByName(name).Write(idx, v)
+		return true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flushLocked()
+	for _, d := range p.shards {
+		d.RegisterByName(name).Write(idx, v)
+	}
+	return true
+}
+
+// SkipSubnet programs the skip entry into every shard's monitor table
+// (the paper's control plane programs all pipes identically).
+func (p *Pipes) SkipSubnet(prefix netip.Prefix) error {
+	if p.n == 1 {
+		return p.shards[0].SkipSubnet(prefix)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flushLocked()
+	for _, d := range p.shards {
+		if err := d.SkipSubnet(prefix); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package dataplane
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// RegisterObs wires the front-end's self-telemetry into r. At one
+// shard this is exactly the single pipe's instrumentation (same metric
+// names as before sharding existed). At shards > 1 it registers the
+// front-end view — shard count, barrier flushes, batched views, merged
+// occupancy — plus a per-shard gauge group (the registry has no label
+// support, so shards are distinguished by a name infix, e.g.
+// p4_pipes_shard0_ingress_copies_total).
+//
+// Per-shard gauges read state under the front-end mutex without
+// forcing a barrier: a scrape shows the world as of the last flush
+// rather than replaying packet work on the scrape thread (barrier
+// points must stay driven by the simulation, not by wall-clock
+// scrapes).
+func (p *Pipes) RegisterObs(r *obs.Registry) {
+	if p.n == 1 {
+		p.shards[0].RegisterObs(r)
+		return
+	}
+	r.NewGaugeFunc("p4_pipes_shards", "Configured data-plane pipes.",
+		func() uint64 { return uint64(p.n) })
+	r.NewGaugeFunc("p4_pipes_flushes_total", "Barrier flushes executed.",
+		p.lockedGauge(func() uint64 { return p.flushes }))
+	r.NewGaugeFunc("p4_pipes_batched_views_total", "TAP copies batched through the sharded front-end.",
+		p.lockedGauge(func() uint64 { return p.batchedViews }))
+	r.NewGaugeFunc("p4_dataplane_flow_table_occupancy", "Flow-table cells owned across all shards (as of the last barrier).",
+		p.lockedGauge(p.occupiedLocked))
+	r.NewGaugeFunc("p4_dataplane_flow_table_size", "Per-flow register cells per shard.",
+		func() uint64 { return uint64(p.Config().FlowTableSize) })
+	for i := range p.shards {
+		d := p.shards[i]
+		prefix := fmt.Sprintf("p4_pipes_shard%d_", i)
+		help := fmt.Sprintf(" (pipe %d).", i)
+		r.NewGaugeFunc(prefix+"ingress_copies_total", "TAP ingress copies processed"+help,
+			p.lockedGauge(func() uint64 { return d.Stats.IngressCopies }))
+		r.NewGaugeFunc(prefix+"egress_copies_total", "TAP egress copies processed"+help,
+			p.lockedGauge(func() uint64 { return d.Stats.EgressCopies }))
+		r.NewGaugeFunc(prefix+"rtt_samples_total", "Algorithm 1 RTT samples produced"+help,
+			p.lockedGauge(func() uint64 { return d.Stats.RTTSamples }))
+		r.NewGaugeFunc(prefix+"microbursts_total", "Microburst events detected"+help,
+			p.lockedGauge(func() uint64 { return d.Stats.Microbursts }))
+		r.NewGaugeFunc(prefix+"flow_table_occupancy", "Flow-table cells owned"+help,
+			p.lockedGauge(d.OccupiedCells))
+	}
+}
+
+// lockedGauge serialises a gauge read with packet batching and flush
+// workers (worker replay only runs while the mutex is held, so a
+// locked read never races shard state).
+func (p *Pipes) lockedGauge(read func() uint64) func() uint64 {
+	return func() uint64 {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return read()
+	}
+}
+
+// occupiedLocked sums shard occupancy without forcing a barrier.
+func (p *Pipes) occupiedLocked() uint64 {
+	var n uint64
+	for _, d := range p.shards {
+		n += d.OccupiedCells()
+	}
+	return n
+}

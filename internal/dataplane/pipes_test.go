@@ -1,0 +1,329 @@
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/simtime"
+	"repro/internal/tap"
+)
+
+// traceFlow returns the i-th synthetic 5-tuple of the merge-property
+// trace: internal DTN to one of three external networks, distinct
+// source ports.
+func traceFlow(i int) packet.FiveTuple {
+	return packet.FiveTuple{
+		SrcIP:   packet.MustAddr("172.16.0.10"),
+		DstIP:   packet.MustAddr(fmt.Sprintf("192.168.%d.10", i%3+1)),
+		SrcPort: uint16(40000 + i),
+		DstPort: 5201,
+		Proto:   packet.ProtoTCP,
+	}
+}
+
+// buildTrace constructs a deterministic bidirectional packet trace:
+// per flow, interleaved data segments (with a couple of injected
+// retransmissions to exercise Algorithm 1's loss branch), matching
+// cumulative ACKs in the reverse direction, and egress copies of the
+// data packets at a fixed transit delay. Copies are returned in
+// global timestamp order, as the TAP pair would deliver them.
+func buildTrace(flows, pktsPerFlow int) []tap.Copy {
+	var trace []tap.Copy
+	const mss = 1448
+	const transit = 200 * simtime.Microsecond
+	for k := 0; k < pktsPerFlow; k++ {
+		for i := 0; i < flows; i++ {
+			ft := traceFlow(i)
+			at := simtime.Millisecond + simtime.Time(k)*simtime.Millisecond + simtime.Time(i)*simtime.Microsecond
+			seq := uint64(1 + k*mss)
+			if k > 0 && k%7 == 0 {
+				// Injected retransmission: sequence regression.
+				seq = uint64(1 + (k-1)*mss)
+			}
+			data := packet.NewTCP(ft, seq, 0, packet.FlagACK|packet.FlagPSH, mss)
+			data.IPID = uint16(i*1000 + k + 1)
+			trace = append(trace, tap.Copy{Pkt: data, Point: tap.Ingress, At: at})
+			trace = append(trace, tap.Copy{Pkt: data, Point: tap.Egress, At: at + transit})
+			// The receiver acknowledges promptly.
+			ack := packet.NewTCP(ft.Reverse(), 1, seq+mss, packet.FlagACK, 0)
+			ack.IPID = uint16(i*1000 + k + 1)
+			trace = append(trace, tap.Copy{Pkt: ack, Point: tap.Ingress, At: at + transit*2})
+		}
+	}
+	sort.SliceStable(trace, func(a, b int) bool { return trace[a].At < trace[b].At })
+	return trace
+}
+
+// runTrace feeds the trace through a fresh front-end with the given
+// shard count, collecting long-flow announcements.
+func runTrace(trace []tap.Copy, shards int) (*Pipes, []LongFlowEvent) {
+	p := NewPipes(Config{LongFlowBytes: 64 << 10}, shards)
+	var announced []LongFlowEvent
+	p.SetLongFlowHandler(func(ev LongFlowEvent) { announced = append(announced, ev) })
+	for _, c := range trace {
+		p.ProcessCopy(c)
+	}
+	p.Flush()
+	return p, announced
+}
+
+// TestPipesMergePropertyMatchesSinglePipe is the sharding correctness
+// property: for the same packet trace, the merged scrape totals at
+// shards=N must equal the single-pipe totals — per-flow bytes, packet
+// and loss counters, pipeline statistics (ingress/egress copies, RTT
+// samples), occupancy and the announced long-flow set. Shard state is
+// disjoint and every shard uses the same table geometry, so summing
+// (or max/min/OR-ing, per register kind) reproduces the single-pipe
+// cells exactly (DESIGN.md §5.4).
+func TestPipesMergePropertyMatchesSinglePipe(t *testing.T) {
+	const flows, pkts = 24, 60
+	for _, shards := range []int{2, 3, 4, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			base, baseEvents := runTrace(buildTrace(flows, pkts), 1)
+			sharded, shardedEvents := runTrace(buildTrace(flows, pkts), shards)
+
+			for i := 0; i < flows; i++ {
+				ft := traceFlow(i)
+				id, rev := HashFiveTuple(ft), HashReverse(ft)
+				want := base.ReadFlow(id, rev)
+				got := sharded.ReadFlow(id, rev)
+				if got.Bytes != want.Bytes || got.Pkts != want.Pkts || got.PktLoss != want.PktLoss {
+					t.Fatalf("flow %d: merged bytes/pkts/loss %d/%d/%d, single-pipe %d/%d/%d",
+						i, got.Bytes, got.Pkts, got.PktLoss, want.Bytes, want.Pkts, want.PktLoss)
+				}
+				if got.RTT != want.RTT || got.FinSeen != want.FinSeen {
+					t.Fatalf("flow %d: merged RTT/fin %v/%v, single-pipe %v/%v",
+						i, got.RTT, got.FinSeen, want.RTT, want.FinSeen)
+				}
+				if got.FirstSeen != want.FirstSeen || got.LastSeen != want.LastSeen {
+					t.Fatalf("flow %d: merged first/last seen %v/%v, single-pipe %v/%v",
+						i, got.FirstSeen, got.LastSeen, want.FirstSeen, want.LastSeen)
+				}
+			}
+
+			ws, gs := base.StatsSnapshot(), sharded.StatsSnapshot()
+			if gs.IngressCopies != ws.IngressCopies || gs.EgressCopies != ws.EgressCopies {
+				t.Fatalf("merged copies %d/%d, single-pipe %d/%d",
+					gs.IngressCopies, gs.EgressCopies, ws.IngressCopies, ws.EgressCopies)
+			}
+			if gs.RTTSamples != ws.RTTSamples {
+				t.Fatalf("merged RTT samples %d, single-pipe %d", gs.RTTSamples, ws.RTTSamples)
+			}
+			// Occupancy is not merge-exact under cell aliasing: two flow
+			// directions sharing one cell on a single pipe occupy one cell
+			// each when the partition separates them. The sum is bounded
+			// below by the single-pipe count and above by the number of
+			// flow directions (each of the `flows` 5-tuples plus its ACK
+			// direction owns at most one cell per shard).
+			occ, baseOcc := sharded.OccupiedCells(), base.OccupiedCells()
+			if occ < baseOcc || occ > uint64(2*flows) {
+				t.Fatalf("merged occupancy %d outside [%d, %d]", occ, baseOcc, 2*flows)
+			}
+
+			// Announcements: every flow the single pipe announced is also
+			// announced when sharded. The sharded set may be strictly
+			// larger under cell aliasing — on one pipe two data flows
+			// sharing a cell share the announced latch, so the second is
+			// suppressed; the partition separates them and un-suppresses
+			// the announcement (more faithful, not less).
+			gotIDs := announcedIDs(shardedEvents)
+			for _, id := range announcedIDs(baseEvents) {
+				j := sort.Search(len(gotIDs), func(k int) bool { return gotIDs[k] >= id })
+				if j == len(gotIDs) || gotIDs[j] != id {
+					t.Fatalf("flow %08x announced on the single pipe but not when sharded", uint32(id))
+				}
+			}
+			if len(shardedEvents) < len(baseEvents) || len(shardedEvents) > flows {
+				t.Fatalf("announced %d long flows, single-pipe %d, trace has %d", len(shardedEvents), len(baseEvents), flows)
+			}
+			for _, ev := range shardedEvents {
+				if ev.Shard < 0 || ev.Shard >= shards {
+					t.Fatalf("event shard %d out of range [0,%d)", ev.Shard, shards)
+				}
+				if want := shardOf(KeyOf(ev.Tuple), shards); ev.Shard != want {
+					t.Fatalf("event shard %d, partition says %d", ev.Shard, want)
+				}
+			}
+		})
+	}
+}
+
+func announcedIDs(evs []LongFlowEvent) []FlowID {
+	ids := make([]FlowID, len(evs))
+	for i, ev := range evs {
+		ids[i] = ev.ID
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+// TestPipesShardPartitionSymmetric pins the canonical keying: both
+// directions of a flow must land on the same shard, or Algorithm 1's
+// eACK match (stored by the data direction, consumed by the ACK
+// direction) breaks across pipes.
+func TestPipesShardPartitionSymmetric(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		ft := traceFlow(i)
+		for _, n := range []int{2, 3, 4, 7, 16} {
+			fwd := shardOf(KeyOf(ft), n)
+			rev := shardOf(KeyOf(ft.Reverse()), n)
+			if fwd != rev {
+				t.Fatalf("flow %d at %d shards: forward on %d, reverse on %d", i, n, fwd, rev)
+			}
+			if fwd < 0 || fwd >= n {
+				t.Fatalf("shard %d out of range [0,%d)", fwd, n)
+			}
+		}
+	}
+}
+
+// TestPipesShardSpread sanity-checks the partition actually spreads
+// flows (a constant partition would pass the merge property while
+// parallelising nothing).
+func TestPipesShardSpread(t *testing.T) {
+	const n = 4
+	var used [n]int
+	for i := 0; i < 256; i++ {
+		used[shardOf(KeyOf(traceFlow(i)), n)]++
+	}
+	for s, c := range used {
+		if c == 0 {
+			t.Fatalf("shard %d received no flows out of 256", s)
+		}
+	}
+}
+
+// TestPipesSingleShardForwardsSynchronously pins the shards=1 fast
+// path: no batching, events delivered inline during ProcessCopy.
+func TestPipesSingleShardForwardsSynchronously(t *testing.T) {
+	p := NewPipes(Config{LongFlowBytes: 2048}, 1)
+	fired := 0
+	p.SetLongFlowHandler(func(ev LongFlowEvent) {
+		fired++
+		if ev.Shard != 0 {
+			t.Fatalf("single-pipe event shard = %d", ev.Shard)
+		}
+	})
+	ft := traceFlow(0)
+	for k := 0; k < 4; k++ {
+		data := packet.NewTCP(ft, uint64(1+k*1448), 0, packet.FlagACK|packet.FlagPSH, 1448)
+		data.IPID = uint16(k + 1)
+		p.ProcessCopy(tap.Copy{Pkt: data, Point: tap.Ingress, At: simtime.Time(k+1) * simtime.Millisecond})
+	}
+	if fired != 1 {
+		t.Fatalf("long-flow announcements = %d, want 1 (inline)", fired)
+	}
+	if got := p.StatsSnapshot().IngressCopies; got != 4 {
+		t.Fatalf("ingress copies = %d", got)
+	}
+}
+
+// TestPipesDeferredEventsCarryShard verifies shards>1 semantics: the
+// announcement is deferred to the barrier (batching), carries the
+// originating shard id, and keeps the packet-time timestamp.
+func TestPipesDeferredEventsCarryShard(t *testing.T) {
+	p := NewPipes(Config{LongFlowBytes: 2048}, 4)
+	var got []LongFlowEvent
+	p.SetLongFlowHandler(func(ev LongFlowEvent) { got = append(got, ev) })
+	ft := traceFlow(0)
+	var last simtime.Time
+	for k := 0; k < 4; k++ {
+		data := packet.NewTCP(ft, uint64(1+k*1448), 0, packet.FlagACK|packet.FlagPSH, 1448)
+		data.IPID = uint16(k + 1)
+		last = simtime.Time(k+1) * simtime.Millisecond
+		p.ProcessCopy(tap.Copy{Pkt: data, Point: tap.Ingress, At: last})
+	}
+	if len(got) != 0 {
+		t.Fatalf("event delivered before the barrier")
+	}
+	p.Flush()
+	if len(got) != 1 {
+		t.Fatalf("announcements after flush = %d, want 1", len(got))
+	}
+	if want := shardOf(KeyOf(ft), 4); got[0].Shard != want {
+		t.Fatalf("event shard = %d, want %d", got[0].Shard, want)
+	}
+	if got[0].At > last {
+		t.Fatalf("event timestamp %v is later than the packets that caused it (%v)", got[0].At, last)
+	}
+}
+
+// TestPipesConcurrentExtraction hammers every merged read API from
+// reader goroutines while a writer streams a trace through
+// ProcessCopy — the -race test for the sharded front-end's locking
+// (flush workers included). Final totals must still match the trace.
+func TestPipesConcurrentExtraction(t *testing.T) {
+	trace := buildTrace(16, 40)
+	p := NewPipes(Config{}, 4)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				ft := traceFlow(r)
+				p.ReadFlow(HashFiveTuple(ft), HashReverse(ft))
+				p.StatsSnapshot()
+				p.OccupiedCells()
+				p.CurrentQueueDelay()
+				p.ReadRegister("flow_bytes", 7)
+				p.EstimateKey(KeyOf(ft))
+			}
+		}()
+	}
+	for _, c := range trace {
+		p.ProcessCopy(c)
+	}
+	close(done)
+	wg.Wait()
+	p.Flush()
+	st := p.StatsSnapshot()
+	if want := uint64(16 * 40 * 2); st.IngressCopies != want {
+		t.Fatalf("ingress copies = %d, want %d", st.IngressCopies, want)
+	}
+	if want := uint64(16 * 40); st.EgressCopies != want {
+		t.Fatalf("egress copies = %d, want %d", st.EgressCopies, want)
+	}
+}
+
+// TestPipesRegisterMergeSemantics exercises the by-name register
+// merge: additive cells sum across shards, first_seen takes the
+// earliest stamp, and unknown names are rejected.
+func TestPipesRegisterMergeSemantics(t *testing.T) {
+	trace := buildTrace(8, 20)
+	base, _ := runTrace(trace, 1)
+	sharded, _ := runTrace(buildTrace(8, 20), 4)
+	for i := 0; i < 8; i++ {
+		idx := uint32(HashFiveTuple(traceFlow(i)))
+		for _, name := range []string{"flow_bytes", "flow_pkts", "pkt_loss", "first_seen", "last_seen"} {
+			want, ok := base.ReadRegister(name, idx)
+			if !ok {
+				t.Fatalf("register %q unknown on single pipe", name)
+			}
+			got, ok := sharded.ReadRegister(name, idx)
+			if !ok || got != want {
+				t.Fatalf("register %q cell %d: merged %d (ok=%v), single-pipe %d", name, idx, got, ok, want)
+			}
+		}
+	}
+	if _, ok := sharded.ReadRegister("bogus", 0); ok {
+		t.Fatal("unknown register accepted")
+	}
+	if !sharded.WriteRegister("flow_bytes", 3, 0) {
+		t.Fatal("reset of known register rejected")
+	}
+	if v, _ := sharded.ReadRegister("flow_bytes", 3); v != 0 {
+		t.Fatalf("cell not reset on every shard: %d", v)
+	}
+}

@@ -24,6 +24,7 @@ const (
 	MatchTernary
 )
 
+// String names the match kind the way P4 table definitions spell it.
 func (k MatchKind) String() string {
 	switch k {
 	case MatchExact:

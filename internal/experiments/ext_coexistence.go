@@ -73,6 +73,7 @@ func RunExtCoexistence(cfg CoexistenceConfig) *CoexistenceResult {
 		BottleneckBps: cfg.Scale.Bottleneck(),
 		RTTs:          RTTs(),
 		Seed:          cfg.Seed,
+		Shards:        cfg.Scale.Shards,
 	})
 	sys.Start()
 

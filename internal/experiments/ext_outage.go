@@ -184,6 +184,7 @@ func RunExtOutage(cfg OutageConfig) (*OutageResult, error) {
 		RTTs:          RTTs(),
 		Seed:          cfg.Seed,
 		ExtraSink:     h.counter,
+		Shards:        cfg.Scale.Shards,
 	})
 	sys.Start()
 	sender := tcp.Config{MSS: cfg.Scale.MSS}

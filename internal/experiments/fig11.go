@@ -86,6 +86,7 @@ func RunFig11(cfg Fig11Config) *Fig11Result {
 		RTTs:          rtts,
 		BufferBytes:   buffer,
 		Seed:          cfg.Seed,
+		Shards:        cfg.Scale.Shards,
 	})
 	sys.Start()
 

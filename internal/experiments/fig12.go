@@ -83,6 +83,7 @@ func RunFig12(cfg Fig12Config) *Fig12Result {
 		BottleneckBps: cfg.Scale.Bottleneck(),
 		RTTs:          RTTs(),
 		Seed:          cfg.Seed,
+		Shards:        cfg.Scale.Shards,
 	})
 	// DTN1's path impairment: random loss on its access link.
 	sys.ExternalAccessLinks[0].LossRate = cfg.LossRate

@@ -73,6 +73,7 @@ func RunFig9(cfg Fig9Config) *Fig9Result {
 		BottleneckBps: cfg.Scale.Bottleneck(),
 		RTTs:          RTTs(),
 		Seed:          cfg.Seed,
+		Shards:        cfg.Scale.Shards,
 	})
 	sys.Start()
 

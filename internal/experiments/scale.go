@@ -27,6 +27,10 @@ type Scale struct {
 	// MSS is the segment payload: jumbo frames at paper scale
 	// (Science DMZ practice), standard frames at fast scale.
 	MSS int
+	// Shards is the number of data-plane pipes traffic is partitioned
+	// across (0 or 1 = the single-pipe pipeline with byte-identical
+	// output; see dataplane.Pipes). Set from the -shards flag.
+	Shards int
 }
 
 // Paper is the full-scale configuration of §5.1.

@@ -88,6 +88,7 @@ func RunTable1(cfg Table1Config) *Table1Result {
 		BottleneckBps: cfg.Scale.Bottleneck(),
 		RTTs:          RTTs(),
 		Seed:          cfg.Seed,
+		Shards:        cfg.Scale.Shards,
 	})
 	sys.Start()
 

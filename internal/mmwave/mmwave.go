@@ -39,6 +39,7 @@ const (
 	DetectorRSSI                           // device-level RSSI with averaging + hysteresis
 )
 
+// String names the detector variant for report and chart labels.
 func (k DetectorKind) String() string {
 	switch k {
 	case DetectorP4IAT:

@@ -67,20 +67,23 @@ type Response struct {
 	Stats     *dataplane.Stats `json:"stats,omitempty"`
 }
 
-// Server executes runtime operations against a data plane. Access is
-// not synchronised internally; callers that share the data plane with
-// a running simulation must serialise externally (the collector daemon
-// does so with its stepper mutex via the Guard hook).
+// Server executes runtime operations against the (possibly sharded)
+// data plane. Register and flow reads go through the Pipes front-end,
+// which flushes pending batches and merges per-shard cells, so a
+// runtime read always sees the coherent multi-pipe view. Access is
+// not synchronised internally beyond that; callers that share the
+// pipeline with a running simulation must serialise externally (the
+// collector daemon does so with its stepper mutex via the Guard hook).
 type Server struct {
-	dp *dataplane.DataPlane
+	dp *dataplane.Pipes
 
 	// Guard, when set, wraps every operation — the collector daemon
 	// uses it to serialise runtime access with the simulation stepper.
 	Guard func(func())
 }
 
-// NewServer wraps a data plane.
-func NewServer(dp *dataplane.DataPlane) *Server { return &Server{dp: dp} }
+// NewServer wraps a sharded pipeline front-end.
+func NewServer(dp *dataplane.Pipes) *Server { return &Server{dp: dp} }
 
 // Handle executes one operation.
 func (s *Server) Handle(req Request) Response {
@@ -97,18 +100,16 @@ func (s *Server) Handle(req Request) Response {
 func (s *Server) handleLocked(req Request) Response {
 	switch req.Op {
 	case OpRegisterRead:
-		reg := s.dp.RegisterByName(req.Register)
-		if reg == nil {
+		v, ok := s.dp.ReadRegister(req.Register, req.Index)
+		if !ok {
 			return errResp("unknown register %q", req.Register)
 		}
-		return Response{OK: true, Value: reg.Read(req.Index)}
+		return Response{OK: true, Value: v}
 
 	case OpRegisterReset:
-		reg := s.dp.RegisterByName(req.Register)
-		if reg == nil {
+		if !s.dp.WriteRegister(req.Register, req.Index, 0) {
 			return errResp("unknown register %q", req.Register)
 		}
-		reg.Write(req.Index, 0)
 		return Response{OK: true}
 
 	case OpFlowRead:
@@ -137,7 +138,7 @@ func (s *Server) handleLocked(req Request) Response {
 		return Response{OK: true, Registers: s.dp.RegisterNames()}
 
 	case OpStats:
-		st := s.dp.Stats
+		st := s.dp.StatsSnapshot()
 		return Response{OK: true, Stats: &st}
 
 	default:

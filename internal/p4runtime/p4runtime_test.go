@@ -22,7 +22,7 @@ func testFlow() packet.FiveTuple {
 	}
 }
 
-func feed(dp *dataplane.DataPlane, n int) {
+func feed(dp *dataplane.Pipes, n int) {
 	ft := testFlow()
 	for i := 0; i < n; i++ {
 		p := packet.NewTCP(ft, uint64(1+i*1000), 0, packet.FlagACK|packet.FlagPSH, 1000)
@@ -32,12 +32,12 @@ func feed(dp *dataplane.DataPlane, n int) {
 }
 
 func TestServerRegisterRead(t *testing.T) {
-	dp := dataplane.New(dataplane.Config{})
+	dp := dataplane.NewPipes(dataplane.Config{}, 1)
 	feed(dp, 5)
 	s := NewServer(dp)
 
 	id := dataplane.HashFiveTuple(testFlow())
-	size := dp.RegisterByName("flow_pkts").Size()
+	size := dp.Shard(0).RegisterByName("flow_pkts").Size()
 	resp := s.Handle(Request{Op: OpRegisterRead, Register: "flow_pkts", Index: uint32(id) % uint32(size)})
 	if !resp.OK || resp.Value != 5 {
 		t.Fatalf("resp: %+v", resp)
@@ -45,14 +45,14 @@ func TestServerRegisterRead(t *testing.T) {
 }
 
 func TestServerUnknownRegister(t *testing.T) {
-	s := NewServer(dataplane.New(dataplane.Config{}))
+	s := NewServer(dataplane.NewPipes(dataplane.Config{}, 1))
 	if resp := s.Handle(Request{Op: OpRegisterRead, Register: "nope"}); resp.OK {
 		t.Fatal("unknown register must fail")
 	}
 }
 
 func TestServerFlowRead(t *testing.T) {
-	dp := dataplane.New(dataplane.Config{})
+	dp := dataplane.NewPipes(dataplane.Config{}, 1)
 	feed(dp, 7)
 	s := NewServer(dp)
 	ft := testFlow()
@@ -70,14 +70,14 @@ func TestServerFlowRead(t *testing.T) {
 }
 
 func TestServerTableSkip(t *testing.T) {
-	dp := dataplane.New(dataplane.Config{})
+	dp := dataplane.NewPipes(dataplane.Config{}, 1)
 	s := NewServer(dp)
 	if resp := s.Handle(Request{Op: OpTableSkip, Prefix: "192.168.1.0/24"}); !resp.OK {
 		t.Fatalf("resp: %+v", resp)
 	}
 	feed(dp, 3)
-	if dp.Stats.SkippedPackets != 3 {
-		t.Fatalf("skipped=%d", dp.Stats.SkippedPackets)
+	if dp.StatsSnapshot().SkippedPackets != 3 {
+		t.Fatalf("skipped=%d", dp.StatsSnapshot().SkippedPackets)
 	}
 	if resp := s.Handle(Request{Op: OpTableSkip, Prefix: "not-a-prefix"}); resp.OK {
 		t.Fatal("bad prefix must fail")
@@ -85,7 +85,7 @@ func TestServerTableSkip(t *testing.T) {
 }
 
 func TestServerListAndStats(t *testing.T) {
-	dp := dataplane.New(dataplane.Config{})
+	dp := dataplane.NewPipes(dataplane.Config{}, 1)
 	feed(dp, 2)
 	s := NewServer(dp)
 	lr := s.Handle(Request{Op: OpListRegisters})
@@ -99,14 +99,14 @@ func TestServerListAndStats(t *testing.T) {
 }
 
 func TestServerUnknownOp(t *testing.T) {
-	s := NewServer(dataplane.New(dataplane.Config{}))
+	s := NewServer(dataplane.NewPipes(dataplane.Config{}, 1))
 	if resp := s.Handle(Request{Op: "frobnicate"}); resp.OK {
 		t.Fatal("unknown op must fail")
 	}
 }
 
 func TestServerGuardSerialises(t *testing.T) {
-	dp := dataplane.New(dataplane.Config{})
+	dp := dataplane.NewPipes(dataplane.Config{}, 1)
 	s := NewServer(dp)
 	var mu sync.Mutex
 	guarded := 0
@@ -124,7 +124,7 @@ func TestServerGuardSerialises(t *testing.T) {
 }
 
 func TestClientServerOverTCP(t *testing.T) {
-	dp := dataplane.New(dataplane.Config{})
+	dp := dataplane.NewPipes(dataplane.Config{}, 1)
 	feed(dp, 4)
 	s := NewServer(dp)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")

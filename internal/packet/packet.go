@@ -22,6 +22,7 @@ const (
 	ProtoUDP Proto = 17
 )
 
+// String names the IP protocol (tcp/udp, or the numeric value).
 func (p Proto) String() string {
 	switch p {
 	case ProtoTCP:
@@ -82,6 +83,7 @@ func (f FiveTuple) Reverse() FiveTuple {
 	}
 }
 
+// String renders the flow as src:port>dst:port/proto for logs.
 func (f FiveTuple) String() string {
 	return fmt.Sprintf("%s:%d>%s:%d/%s", f.SrcIP, f.SrcPort, f.DstIP, f.DstPort, f.Proto)
 }
@@ -280,6 +282,7 @@ func (p *Packet) Clone() *Packet {
 	return &q
 }
 
+// String summarises the headers for debugging output.
 func (p *Packet) String() string {
 	if p.Proto == ProtoTCP {
 		return fmt.Sprintf("%s seq=%d ack=%d flags=%02x len=%d",

@@ -25,6 +25,7 @@ const (
 	StatusCritical
 )
 
+// String renders the grid-cell status the way MaDDash legends do.
 func (s CellStatus) String() string {
 	switch s {
 	case StatusOK:

@@ -21,6 +21,7 @@ const (
 	Egress                   // packet leaving the core switch
 )
 
+// String names the TAP attachment point (ingress or egress).
 func (p CopyPoint) String() string {
 	if p == Ingress {
 		return "ingress"
