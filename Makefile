@@ -8,9 +8,9 @@ BENCH_GATE = ^BenchmarkFig9PerFlow$$|^BenchmarkTable1Comparison$$
 # The coverage ratchet: `make cover` (and CI's cover job) fails when
 # total statement coverage drops below this. Raise it in the PR that
 # raises coverage; never lower it to make a build pass.
-COVER_MIN = 76.0
+COVER_MIN = 78.0
 
-.PHONY: all build vet test race lint chaos bench benchcmp cover obs docs ci
+.PHONY: all build vet test race lint lint-deep chaos bench benchcmp cover obs docs ci
 
 all: ci
 
@@ -28,8 +28,16 @@ test:
 race:
 	$(GO) test -race -timeout 30m ./...
 
+# lint runs the cheap per-package syntactic passes; lint-deep the
+# whole-program dataflow passes (call graph, hotpath propagation,
+# atomic/plain mixing, lock ordering, determinism). CI runs both; when
+# invoked inside GitHub Actions, lint-deep emits ::error annotations so
+# findings land inline on the PR diff.
 lint:
-	$(GO) run ./cmd/p4lint ./...
+	$(GO) run ./cmd/p4lint -syntactic ./...
+
+lint-deep:
+	$(GO) run ./cmd/p4lint -deep $(if $(GITHUB_ACTIONS),-gha) ./...
 
 # chaos runs the fault-injection suites under the race detector: the
 # scripted-outage shipper tests, the archiver ingest robustness tests,
@@ -76,4 +84,4 @@ obs:
 docs:
 	$(GO) run ./cmd/docscheck README.md ARCHITECTURE.md EXPERIMENTS.md
 
-ci: build vet test race lint docs
+ci: build vet test race lint lint-deep docs

@@ -5,18 +5,19 @@
 //
 // Usage:
 //
-//	p4lint [-only locks,timeunits,...] [-json] [pattern ...]
+//	p4lint [-only locks,timeunits,...] [-syntactic|-deep] [-json|-gha] [pattern ...]
 //
 // Patterns are directories, optionally ending in /... to recurse
 // (default "./..."). Examples:
 //
 //	go run ./cmd/p4lint ./...
 //	go run ./cmd/p4lint -only regwidth ./internal/dataplane
+//	go run ./cmd/p4lint -deep ./...
 //	go run ./cmd/p4lint -json ./internal/... > lint.json
+//	go run ./cmd/p4lint -gha ./...   # GitHub Actions ::error annotations
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,7 +28,10 @@ import (
 
 func main() {
 	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	syntactic := flag.Bool("syntactic", false, "run only the per-package syntactic passes (cheap, no call graph)")
+	deep := flag.Bool("deep", false, "run only the whole-program dataflow passes (hotpathprop, atomicmix, lockorder, determinism)")
 	asJSON := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	asGHA := flag.Bool("gha", false, "emit diagnostics as GitHub Actions ::error annotations")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -37,6 +41,12 @@ func main() {
 	}
 
 	analyzers := analysis.All()
+	if *syntactic {
+		analyzers = analysis.Syntactic()
+	}
+	if *deep {
+		analyzers = analysis.Deep()
+	}
 	if *only != "" {
 		var err error
 		analyzers, err = analysis.ByName(strings.Split(*only, ","))
@@ -70,34 +80,16 @@ func main() {
 	}
 
 	diags := analysis.Run(pkgs, analyzers)
-	if *asJSON {
-		type jsonDiag struct {
-			File     string `json:"file"`
-			Line     int    `json:"line"`
-			Column   int    `json:"column"`
-			Analyzer string `json:"analyzer"`
-			Message  string `json:"message"`
-		}
-		out := make([]jsonDiag, len(diags))
-		for i, d := range diags {
-			out[i] = jsonDiag{
-				File:     d.Pos.Filename,
-				Line:     d.Pos.Line,
-				Column:   d.Pos.Column,
-				Analyzer: d.Analyzer,
-				Message:  d.Message,
-			}
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+	switch {
+	case *asJSON:
+		if err := analysis.RenderJSON(os.Stdout, diags); err != nil {
 			fmt.Fprintln(os.Stderr, "p4lint:", err)
 			os.Exit(2)
 		}
-	} else {
-		for _, d := range diags {
-			fmt.Println(d.String())
-		}
+	case *asGHA:
+		analysis.RenderGitHub(os.Stdout, diags)
+	default:
+		analysis.RenderText(os.Stdout, diags)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "p4lint: %d finding(s)\n", len(diags))
@@ -106,7 +98,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: p4lint [-only a,b] [-json] [pattern ...]\n\nanalyzers:\n")
+	fmt.Fprintf(os.Stderr, "usage: p4lint [-only a,b] [-deep] [-json|-gha] [pattern ...]\n\nanalyzers:\n")
 	for _, a := range analysis.All() {
 		fmt.Fprintf(os.Stderr, "  %-13s %s\n", a.Name, a.Doc)
 	}

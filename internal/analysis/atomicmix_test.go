@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestAtomicMix(t *testing.T) {
+	runFixture(t, "atomicmix", "atomicmix")
+}

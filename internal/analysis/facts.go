@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"go/token"
+)
+
+// exemptLines collects the justified `p4:lint-exempt <pass>: reason`
+// lines for one pass across packages, as file → line set.
+//
+// applyExemptions already suppresses diagnostics that land on an
+// exempted line, but whole-program passes report transitive findings at
+// a distant root (a hotpath function, a deterministic caller) where the
+// line-level comment cannot reach. Those passes consult this index to
+// stop fact propagation at the exempted site itself: an exempted
+// time.Now does not make its callers wall-clocked, an exempted Lock
+// does not make its root hot-path dirty.
+func exemptLines(pkgs []*Package, pass string) map[string]map[int]bool {
+	idx := map[string]map[int]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := exemptRe.FindStringSubmatch(c.Text)
+					if m == nil || m[1] != pass || len(m[2]) == 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					if idx[pos.Filename] == nil {
+						idx[pos.Filename] = map[int]bool{}
+					}
+					idx[pos.Filename][pos.Line] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// exemptCovers reports whether a source position is covered by an
+// exemption on its own line or the line above, mirroring
+// applyExemptions' placement rule.
+func exemptCovers(idx map[string]map[int]bool, pos token.Position) bool {
+	lines := idx[pos.Filename]
+	return lines != nil && (lines[pos.Line] || lines[pos.Line-1])
+}

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -55,7 +56,10 @@ func runHotAlloc(pass *Pass) {
 			if !ok || fn.Body == nil || fn.Doc == nil {
 				continue
 			}
-			if !strings.Contains(fn.Doc.Text(), "p4:hotpath") {
+			// A p4:hotpath-exempt annotation contains the hotpath marker
+			// as a substring but means the opposite.
+			doc := fn.Doc.Text()
+			if !strings.Contains(doc, "p4:hotpath") || strings.Contains(doc, hotpathExempt) {
 				continue
 			}
 			checkHotFunc(pass, info, parents, fn)
@@ -91,7 +95,7 @@ func checkHotCall(pass *Pass, info *types.Info, parents parentMap, recycled map[
 		if b, ok := obj.(*types.Builtin); ok {
 			switch b.Name() {
 			case "append":
-				if !appendReusesCapacity(pass, info, parents, recycled, call) {
+				if !appendReusesCapacity(pass.Pkg.Fset, info, parents, recycled, call) {
 					pass.Reportf(call.Pos(), "append result is not assigned back to its base slice in p4:hotpath function %s: growth allocates a fresh backing array; reuse capacity (x = append(x, ...)) or hoist the buffer", name)
 				}
 			case "make":
@@ -169,7 +173,7 @@ func recycledSlices(info *types.Info, body *ast.BlockStmt) map[types.Object]bool
 // the amortised-zero idioms: its result is assigned back to the slice
 // it extends (after unwrapping a trim like x[:0]), or its base is a
 // local recycled-capacity buffer.
-func appendReusesCapacity(pass *Pass, info *types.Info, parents parentMap, recycled map[types.Object]bool, call *ast.CallExpr) bool {
+func appendReusesCapacity(fset *token.FileSet, info *types.Info, parents parentMap, recycled map[types.Object]bool, call *ast.CallExpr) bool {
 	if len(call.Args) == 0 {
 		return false
 	}
@@ -190,7 +194,7 @@ func appendReusesCapacity(pass *Pass, info *types.Info, parents parentMap, recyc
 		if rhs != call || i >= len(as.Lhs) {
 			continue
 		}
-		if exprString(pass.Pkg.Fset, as.Lhs[i]) == exprString(pass.Pkg.Fset, base) {
+		if exprString(fset, as.Lhs[i]) == exprString(fset, base) {
 			return true
 		}
 	}

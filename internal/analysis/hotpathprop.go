@@ -1,0 +1,270 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPathPropAnalyzer makes the p4:hotpath contract transitive: the
+// constraints the hotalloc pass enforces inside an annotated function
+// body — plus the blocking-operation bans below — apply to every
+// function reachable from an annotated root through the conservative
+// call graph. The per-packet pipeline promises 0 allocs/op AND bounded
+// latency; a clean root calling a helper that locks a mutex or builds
+// a map breaks the promise just as surely as allocating inline.
+//
+// Inside any function reachable from a p4:hotpath root (including the
+// root itself) the pass reports:
+//
+//   - sync.Mutex / sync.RWMutex operations (Lock, Unlock, RLock,
+//     RUnlock, TryLock, TryRLock) — the packet path must stay
+//     lock-free;
+//   - time.Now — wall-clock reads desynchronise the simulation clock
+//     and cost a vDSO call per packet;
+//   - map iteration — unbounded work with nondeterministic order;
+//   - channel operations (send, receive, select, close, make(chan)) —
+//     every one is a potential block or allocation;
+//   - in transitively reached callees only, the hotalloc allocation
+//     classes (append growth, map literals, make(map), netip
+//     rendering, fmt formatting): hotalloc already reports those in
+//     the annotated body itself, and this pass extends them across
+//     the call boundary, flagged at the root with the call chain.
+//
+// A callee that legitimately violates the contract (an amortised batch
+// flush, a cold error path) is excluded by annotating its doc comment
+// with `p4:hotpath-exempt` plus a justification after the colon, or a
+// single offending line with a justified `p4:lint-exempt` comment
+// naming this pass. An exemption without a justification is itself
+// reported.
+//
+// Known incompleteness (see the Program doc): calls through plain
+// function values and bodies of function literals are not traversed.
+var HotPathPropAnalyzer = &Analyzer{
+	Name:       "hotpathprop",
+	Doc:        "p4:hotpath constraints (locks, time.Now, map iteration, channels, allocation) enforced transitively over the call graph",
+	RunProgram: runHotPathProp,
+}
+
+const (
+	hotpathMark   = "p4:hotpath"
+	hotpathExempt = "p4:hotpath-exempt:"
+)
+
+// hotViolation is one hot-path contract breach inside a function body.
+type hotViolation struct {
+	pos   token.Pos
+	what  string // short description, e.g. "mutex Lock"
+	alloc bool   // belongs to the hotalloc allocation classes
+}
+
+func runHotPathProp(pass *ProgramPass) {
+	prog := pass.Prog
+
+	// Classify every declared function once: root, exempt, or plain.
+	exempt := map[*types.Func]bool{}
+	var roots []*FuncInfo
+	for _, fi := range prog.Functions() {
+		doc := ""
+		if fi.Decl.Doc != nil {
+			doc = fi.Decl.Doc.Text()
+		}
+		if idx := strings.Index(doc, hotpathExempt); idx >= 0 {
+			exempt[fi.Obj] = true
+			reason := doc[idx+len(hotpathExempt):]
+			if nl := strings.IndexByte(reason, '\n'); nl >= 0 {
+				reason = reason[:nl]
+			}
+			if strings.TrimSpace(reason) == "" {
+				pass.Reportf(fi.Decl.Pos(), "p4:hotpath-exempt on %s has no justification: explain why the hot-path contract does not apply", fi.Name())
+			}
+			continue
+		}
+		if strings.Contains(doc, hotpathMark) {
+			roots = append(roots, fi)
+		}
+	}
+
+	// Memoised per-function violation lists. Violations on a line with a
+	// justified p4:lint-exempt hotpathprop comment are dropped at the
+	// source, so they neither surface directly nor propagate to roots.
+	exemptLn := exemptLines(prog.Pkgs, pass.Analyzer.Name)
+	cache := map[*types.Func][]hotViolation{}
+	violationsOf := func(fi *FuncInfo) []hotViolation {
+		if v, ok := cache[fi.Obj]; ok {
+			return v
+		}
+		all := hotViolations(fi)
+		v := all[:0]
+		for _, hv := range all {
+			if !exemptCovers(exemptLn, prog.Fset.Position(hv.pos)) {
+				v = append(v, hv)
+			}
+		}
+		cache[fi.Obj] = v
+		return v
+	}
+
+	for _, root := range roots {
+		// Direct violations in the root body: the non-allocation
+		// classes (hotalloc owns the allocation ones there).
+		for _, v := range violationsOf(root) {
+			if v.alloc {
+				continue
+			}
+			pass.Reportf(v.pos, "%s in p4:hotpath function %s: the per-packet path must stay lock-free, clock-free and channel-free", v.what, root.Name())
+		}
+
+		// BFS over the call graph; report each violating callee once
+		// per root, at the root, with the shortest call chain.
+		visited := map[*types.Func]bool{root.Obj: true}
+		queue := []*chainNode{{fn: root.Obj}}
+		for len(queue) > 0 {
+			node := queue[0]
+			queue = queue[1:]
+			for _, e := range prog.Callees(node.fn) {
+				callee := prog.FuncOf(e.Callee)
+				if callee == nil || visited[e.Callee] {
+					continue
+				}
+				visited[e.Callee] = true
+				if exempt[e.Callee] {
+					continue // justified escape hatch: not checked, not traversed
+				}
+				next := &chainNode{fn: e.Callee, prev: node}
+				for _, v := range violationsOf(callee) {
+					via := ""
+					if e.Dynamic {
+						via = fmt.Sprintf(" (dispatched via interface %s)", e.Iface)
+					}
+					pass.Reportf(root.Decl.Pos(), "p4:hotpath function %s reaches %s in %s via %s%s (at %s)",
+						root.Name(), v.what, callee.Name(),
+						renderChain(prog, next), via,
+						prog.Fset.Position(v.pos))
+				}
+				queue = append(queue, next)
+			}
+		}
+	}
+}
+
+// hotViolations collects the hot-path contract breaches in one
+// function body. Function literal subtrees are skipped, matching the
+// call graph's treatment of them. Panic arguments are cold (they abort
+// the run) and are skipped like in hotalloc.
+func hotViolations(fi *FuncInfo) []hotViolation {
+	info := fi.Pkg.Info
+	parents := fi.Pkg.Parents()
+	recycled := recycledSlices(info, fi.Decl.Body)
+	var out []hotViolation
+	add := func(pos token.Pos, what string, alloc bool) {
+		out = append(out, hotViolation{pos: pos, what: what, alloc: alloc})
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.RangeStmt:
+			if t := info.TypeOf(e.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					add(e.Pos(), "map iteration", false)
+				}
+			}
+		case *ast.SendStmt:
+			add(e.Pos(), "channel send", false)
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				add(e.Pos(), "channel receive", false)
+			}
+		case *ast.SelectStmt:
+			add(e.Pos(), "select", false)
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[e]; ok && !inPanicArg(info, parents, e) {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					add(e.Pos(), "map literal allocation", true)
+				}
+			}
+		case *ast.CallExpr:
+			hotCallViolations(fi, info, parents, recycled, e, add)
+		}
+		return true
+	})
+	return out
+}
+
+// hotCallViolations classifies one call expression.
+func hotCallViolations(fi *FuncInfo, info *types.Info, parents parentMap, recycled map[types.Object]bool, call *ast.CallExpr, add func(token.Pos, string, bool)) {
+	if inPanicArg(info, parents, call) {
+		return
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		b, ok := info.Uses[fun].(*types.Builtin)
+		if !ok {
+			return
+		}
+		switch b.Name() {
+		case "append":
+			if !appendReusesCapacity(fi.Pkg.Fset, info, parents, recycled, call) {
+				add(call.Pos(), "append without capacity reuse", true)
+			}
+		case "make":
+			if tv, ok := info.Types[call]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					add(call.Pos(), "make(map) allocation", true)
+				case *types.Chan:
+					add(call.Pos(), "make(chan)", false)
+				}
+			}
+		case "close":
+			if len(call.Args) == 1 {
+				if t := info.TypeOf(call.Args[0]); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						add(call.Pos(), "channel close", false)
+					}
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return
+		}
+		switch {
+		case fn.Pkg().Path() == "sync" && isMutexOp(fn.Name()):
+			if recv := info.TypeOf(fun.X); recv == nil || isLockType(recv) || isEmbeddedLockRecv(info, fun) {
+				add(call.Pos(), "mutex "+fn.Name(), false)
+			}
+		case fn.Pkg().Path() == "time" && fn.Name() == "Now":
+			add(call.Pos(), "time.Now", false)
+		case fn.Pkg().Path() == "net/netip" && netipAllocMethods[fn.Name()]:
+			add(call.Pos(), "netip "+fn.Name()+" allocation", true)
+		case fn.Pkg().Path() == "fmt" && fmtAllocFuncs[fn.Name()]:
+			add(call.Pos(), "fmt."+fn.Name()+" allocation", true)
+		}
+	}
+}
+
+// isMutexOp reports whether name is a sync.Mutex/RWMutex method.
+func isMutexOp(name string) bool {
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+		return true
+	}
+	return false
+}
+
+// isEmbeddedLockRecv reports whether a Lock-family call selects a
+// promoted method of an embedded sync.Mutex (s.Lock() where s's type
+// embeds the mutex).
+func isEmbeddedLockRecv(info *types.Info, sel *ast.SelectorExpr) bool {
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync"
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestHotPathProp(t *testing.T) {
+	runFixture(t, "hotpathprop", "hotpathprop")
+}

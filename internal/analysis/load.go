@@ -29,6 +29,10 @@ type Package struct {
 	// whatever information was recovered.
 	TypeErrors []error
 
+	// loader links back to the Loader that produced the package, so
+	// NewProgram can fold in the module import closure.
+	loader *Loader
+
 	parents parentMap
 }
 
@@ -274,10 +278,11 @@ func (l *Loader) loadPackage(path, dir string) (*Package, error) {
 	})
 
 	pkg := &Package{
-		Path:  path,
-		Dir:   dir,
-		Fset:  l.Fset,
-		Files: files,
+		Path:   path,
+		Dir:    dir,
+		Fset:   l.Fset,
+		Files:  files,
+		loader: l,
 		Info: &types.Info{
 			Types:      make(map[ast.Expr]types.TypeAndValue),
 			Defs:       make(map[*ast.Ident]types.Object),

@@ -1,0 +1,430 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrderAnalyzer guards the two deadlock classes the concurrent
+// subsystems (sharded data plane, resilient shipper, archiver pipeline)
+// are exposed to:
+//
+//  1. Inconsistent acquisition order. The pass builds a whole-program
+//     acquisition graph whose nodes are mutex identities — a struct
+//     field (Type.mu), a package-level mutex, or a type embedding one —
+//     and whose edges record "B acquired while A is held", including
+//     acquisitions reached transitively through the call graph. Any
+//     cycle in that graph is a schedule where two goroutines hold one
+//     lock each and wait for the other's.
+//
+//  2. Lock held across a blocking operation. In the packages that talk
+//     to the network or move data between goroutines
+//     (internal/dataplane, internal/resilient, internal/psarchiver),
+//     holding a mutex across a channel send/receive/select or a
+//     net/os-level I/O call stalls every other goroutine contending for
+//     the lock for as long as the peer takes — the bug class the PR-4
+//     shipper redesign removed (conn.Write moved outside mu).
+//
+// The held-set tracking is a linear, source-order approximation of each
+// function body: Lock adds, Unlock removes, `defer Unlock` holds to the
+// function's end, and function literals are opaque (consistent with the
+// call graph). A deliberate release-reacquire pattern is excluded with
+// a justified `p4:lint-exempt` line comment naming this pass.
+var LockOrderAnalyzer = &Analyzer{
+	Name:       "lockorder",
+	Doc:        "whole-program mutex acquisition graph: order cycles, and locks held across I/O or channel operations",
+	RunProgram: runLockOrder,
+}
+
+// lockIOScopes are the package-path fragments where rule 2 (lock held
+// across blocking operations) applies; the fixture directory rides the
+// list so the rule stays testable.
+var lockIOScopes = []string{
+	"internal/dataplane", "internal/resilient", "internal/psarchiver",
+	"testdata/src/lockorder",
+}
+
+// ioPkgs are stdlib packages whose calls mean "waiting on a peer or the
+// kernel" — the operations rule 2 bans under a lock. Buffered or
+// in-memory writers (bytes, strings, bufio flushes excepted) are not
+// listed: they cost memory, not latency.
+var ioPkgs = map[string]bool{"net": true, "os": true, "net/http": true, "crypto/tls": true}
+
+// loEvent is one occurrence inside a function body, in source order.
+type loEvent struct {
+	pos  token.Pos
+	kind int          // loEvLock, loEvUnlock, loEvDeferUnlock, loEvCall, loEvChan, loEvIO
+	obj  types.Object // lock identity for loEvLock/loEvUnlock
+	fn   *types.Func  // callee for loEvCall/loEvIO
+	what string       // operation description for loEvChan/loEvIO
+}
+
+const (
+	loEvLock = iota
+	loEvUnlock
+	loEvDeferUnlock
+	loEvCall
+	loEvChan
+	loEvIO
+)
+
+// lockEdge is "to acquired while from is held".
+type lockEdge struct {
+	site token.Pos
+	via  string // empty for a direct acquisition, callee chain otherwise
+}
+
+func runLockOrder(pass *ProgramPass) {
+	prog := pass.Prog
+	exemptLn := exemptLines(prog.Pkgs, pass.Analyzer.Name)
+	skip := func(pos token.Pos) bool {
+		return exemptCovers(exemptLn, prog.Fset.Position(pos))
+	}
+
+	// Pass 1: per-function events and direct acquisition sets.
+	events := map[*types.Func][]loEvent{}
+	acquires := map[*types.Func]map[types.Object]bool{}
+	for _, fi := range prog.Functions() {
+		evs := loEvents(fi)
+		events[fi.Obj] = evs
+		for _, e := range evs {
+			if e.kind == loEvLock && !skip(e.pos) {
+				if acquires[fi.Obj] == nil {
+					acquires[fi.Obj] = map[types.Object]bool{}
+				}
+				acquires[fi.Obj][e.obj] = true
+			}
+		}
+	}
+
+	// Transitive closure of acquisitions over the call graph (fixpoint;
+	// the graph is small and the sets smaller).
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range prog.Functions() {
+			for _, e := range prog.Callees(fi.Obj) {
+				for obj := range acquires[e.Callee] {
+					if !acquires[fi.Obj][obj] {
+						if acquires[fi.Obj] == nil {
+							acquires[fi.Obj] = map[types.Object]bool{}
+						}
+						acquires[fi.Obj][obj] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 2: linear scan of each body, building the acquisition graph
+	// and reporting rule-2 findings as they appear.
+	edges := map[[2]types.Object]lockEdge{}
+	addEdge := func(from, to types.Object, site token.Pos, via string) {
+		k := [2]types.Object{from, to}
+		if _, ok := edges[k]; !ok {
+			edges[k] = lockEdge{site: site, via: via}
+		}
+	}
+	for _, fi := range prog.Functions() {
+		ioScoped := pathInScope(fi.Pkg.Path, lockIOScopes)
+		held := map[types.Object]token.Pos{}
+		heldSorted := func() []types.Object {
+			objs := make([]types.Object, 0, len(held))
+			for o := range held {
+				objs = append(objs, o)
+			}
+			sort.Slice(objs, func(i, j int) bool { return objLabel(objs[i]) < objLabel(objs[j]) })
+			return objs
+		}
+		for _, e := range events[fi.Obj] {
+			if skip(e.pos) {
+				if e.kind == loEvUnlock || e.kind == loEvDeferUnlock {
+					delete(held, e.obj)
+				}
+				continue
+			}
+			switch e.kind {
+			case loEvLock:
+				if _, already := held[e.obj]; already {
+					pass.Reportf(e.pos, "%s acquired in %s while already held (locked at %s): sync mutexes are not reentrant, this goroutine deadlocks",
+						objLabel(e.obj), fi.Name(), prog.Fset.Position(held[e.obj]))
+					continue
+				}
+				for _, h := range heldSorted() {
+					if h != e.obj {
+						addEdge(h, e.obj, e.pos, "")
+					}
+				}
+				held[e.obj] = e.pos
+			case loEvUnlock:
+				delete(held, e.obj)
+			case loEvDeferUnlock:
+				// Held until return: keep it in the set.
+			case loEvCall:
+				for obj := range acquires[e.fn] {
+					for _, h := range heldSorted() {
+						if h != obj {
+							addEdge(h, obj, e.pos, calleeName(prog, e.fn))
+						}
+					}
+				}
+			case loEvChan, loEvIO:
+				if !ioScoped || len(held) == 0 {
+					continue
+				}
+				h := heldSorted()[0]
+				pass.Reportf(e.pos, "%s held across %s in %s (locked at %s): the lock stalls every contending goroutine for as long as the peer takes; move the blocking operation outside the critical section (the PR-4 shipper pattern)",
+					objLabel(h), e.what, fi.Name(), prog.Fset.Position(held[h]))
+			}
+		}
+	}
+
+	reportLockCycles(pass, edges)
+}
+
+// reportLockCycles finds acquisition-order cycles and reports each once,
+// deterministically, at the lexically first edge that closes it.
+func reportLockCycles(pass *ProgramPass, edges map[[2]types.Object]lockEdge) {
+	prog := pass.Prog
+	succ := map[types.Object][]types.Object{}
+	for k := range edges {
+		succ[k[0]] = append(succ[k[0]], k[1])
+	}
+	for _, next := range succ {
+		sort.Slice(next, func(i, j int) bool { return objLabel(next[i]) < objLabel(next[j]) })
+	}
+	// path returns a shortest from→to node sequence (BFS), or nil.
+	path := func(from, to types.Object) []types.Object {
+		type node struct {
+			obj  types.Object
+			prev *node
+		}
+		visited := map[types.Object]bool{from: true}
+		queue := []*node{{obj: from}}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			if n.obj == to {
+				var out []types.Object
+				for ; n != nil; n = n.prev {
+					out = append(out, n.obj)
+				}
+				for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+					out[i], out[j] = out[j], out[i]
+				}
+				return out
+			}
+			for _, s := range succ[n.obj] {
+				if !visited[s] {
+					visited[s] = true
+					queue = append(queue, &node{obj: s, prev: n})
+				}
+			}
+		}
+		return nil
+	}
+
+	type keyed struct {
+		k [2]types.Object
+		e lockEdge
+	}
+	sorted := make([]keyed, 0, len(edges))
+	for k, e := range edges {
+		sorted = append(sorted, keyed{k, e})
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := prog.Fset.Position(sorted[i].e.site), prog.Fset.Position(sorted[j].e.site)
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	seen := map[string]bool{}
+	for _, ke := range sorted {
+		from, to := ke.k[0], ke.k[1]
+		back := path(to, from)
+		if back == nil {
+			continue
+		}
+		cycle := append([]types.Object{from}, back...) // from -> to -> ... -> from
+		labels := make([]string, len(cycle))
+		for i, o := range cycle {
+			labels[i] = objLabel(o)
+		}
+		canon := canonicalCycle(labels)
+		if seen[canon] {
+			continue
+		}
+		seen[canon] = true
+		via := ""
+		if ke.e.via != "" {
+			via = fmt.Sprintf(" (through call to %s)", ke.e.via)
+		}
+		pass.Reportf(ke.e.site, "lock order cycle %s: %s is acquired while %s is held%s, and the reverse order also occurs; two goroutines taking opposite orders deadlock — pick one global order",
+			strings.Join(labels, " -> "), objLabel(to), objLabel(from), via)
+	}
+}
+
+// canonicalCycle rotates a cycle rendering (first == last) so the
+// smallest label leads, making "A->B->A" and "B->A->B" the same cycle.
+func canonicalCycle(labels []string) string {
+	ring := labels[:len(labels)-1]
+	min := 0
+	for i := range ring {
+		if ring[i] < ring[min] {
+			min = i
+		}
+	}
+	out := make([]string, 0, len(labels))
+	for i := range ring {
+		out = append(out, ring[(min+i)%len(ring)])
+	}
+	out = append(out, ring[min])
+	return strings.Join(out, " -> ")
+}
+
+// loEvents flattens one function body into source-ordered lock,
+// unlock, call, channel, and I/O events. ast.Inspect visits in source
+// order, so the slice needs no extra sorting.
+func loEvents(fi *FuncInfo) []loEvent {
+	info := fi.Pkg.Info
+	var out []loEvent
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			// The deferred call runs at return; classify its Lock/Unlock
+			// specially and skip the generic call handling.
+			if obj, op := mutexCallTarget(info, e.Call); obj != nil {
+				kind := loEvDeferUnlock
+				if op == "Lock" || op == "RLock" || op == "TryLock" || op == "TryRLock" {
+					kind = loEvLock // `defer mu.Lock()` is almost surely a bug; model as an acquisition
+				}
+				out = append(out, loEvent{pos: e.Pos(), kind: kind, obj: obj})
+				return false
+			}
+			// Other deferred calls are modelled at the defer site — a
+			// conservative approximation (they actually run at return).
+			return true
+		case *ast.SendStmt:
+			out = append(out, loEvent{pos: e.Pos(), kind: loEvChan, what: "channel send"})
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				out = append(out, loEvent{pos: e.Pos(), kind: loEvChan, what: "channel receive"})
+			}
+		case *ast.SelectStmt:
+			out = append(out, loEvent{pos: e.Pos(), kind: loEvChan, what: "select"})
+		case *ast.CallExpr:
+			if obj, op := mutexCallTarget(info, e); obj != nil {
+				kind := loEvUnlock
+				if op == "Lock" || op == "RLock" || op == "TryLock" || op == "TryRLock" {
+					kind = loEvLock
+				}
+				out = append(out, loEvent{pos: e.Pos(), kind: kind, obj: obj})
+				return true
+			}
+			if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+				if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+					if ioPkgs[fn.Pkg().Path()] {
+						out = append(out, loEvent{pos: e.Pos(), kind: loEvIO, fn: fn,
+							what: fn.Pkg().Name() + " " + fn.Name() + " I/O"})
+						return true
+					}
+					out = append(out, loEvent{pos: e.Pos(), kind: loEvCall, fn: fn})
+					return true
+				}
+			}
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+				if fn, ok := info.Uses[id].(*types.Func); ok {
+					out = append(out, loEvent{pos: e.Pos(), kind: loEvCall, fn: fn})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// mutexCallTarget resolves a call to a sync.Mutex/RWMutex method into
+// the lock's identity object and the operation name. Identity is the
+// struct field for s.mu.Lock(), the variable for a package-level mu,
+// and the receiver's named type for promoted methods on embedded locks —
+// the granularity the ordering graph needs to compare acquisitions
+// across instances.
+func mutexCallTarget(info *types.Info, call *ast.CallExpr) (types.Object, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !isMutexOp(sel.Sel.Name) {
+		return nil, ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, ""
+	}
+	return lockIdentity(info, sel.X), sel.Sel.Name
+}
+
+// lockIdentity maps the receiver expression of a Lock/Unlock call to a
+// stable per-type object.
+func lockIdentity(info *types.Info, x ast.Expr) types.Object {
+	switch e := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			return s.Obj()
+		}
+		return info.Uses[e.Sel]
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			return nil
+		}
+		t := obj.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if isLockType(t) {
+			return obj // a plain mutex variable
+		}
+		if n, ok := t.(*types.Named); ok {
+			return n.Obj() // s.Lock() via embedded mutex: identity is the type
+		}
+		return obj
+	case *ast.IndexExpr:
+		return lockIdentity(info, e.X)
+	}
+	return nil
+}
+
+// objLabel renders a lock identity for diagnostics.
+func objLabel(obj types.Object) string { return objectLabel(obj) }
+
+// calleeName renders a callee for "through call to X" notes.
+func calleeName(prog *Program, fn *types.Func) string {
+	if fi := prog.FuncOf(fn); fi != nil {
+		return fi.Name()
+	}
+	return fn.Name()
+}
+
+// pathInScope reports whether an import path matches one of the scope
+// fragments. Matching is by fragment containment, except that a
+// trailing fixture path must terminate the import path so fixture
+// subpackages stay out of scope.
+func pathInScope(path string, scopes []string) bool {
+	for _, s := range scopes {
+		if strings.HasPrefix(s, "testdata/") {
+			if strings.HasSuffix(path, s) {
+				return true
+			}
+			continue
+		}
+		if strings.Contains(path, s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,76 @@
+// Package atomicmix exercises the whole-program atomic/plain
+// mixed-access pass: any field touched through sync/atomic must be
+// atomic everywhere, the race class the psarchiver pipeline counters
+// were once bitten by.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits uint64
+	name string // never atomic: plain access stays legal
+}
+
+func (c *counters) bump() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counters) scrape() uint64 {
+	return c.hits // want "plain read of counters.hits mixes with its sync/atomic access"
+}
+
+func (c *counters) reset() {
+	c.hits = 0 // want "plain write of counters.hits"
+	c.name = "fresh"
+}
+
+func (c *counters) drift() {
+	c.hits++ // want "plain write of counters.hits"
+}
+
+func (c *counters) ok() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+// Construction happens before the value is shared: composite-literal
+// keys are accepted.
+func newCounters() *counters {
+	return &counters{hits: 0, name: "fresh"}
+}
+
+// exclusiveReset documents why its plain write cannot race.
+func (c *counters) exclusiveReset() {
+	c.hits = 0 //p4:lint-exempt atomicmix: called from the test harness before any goroutine starts
+}
+
+type histo struct {
+	buckets [4]uint64
+}
+
+func (h *histo) observe(i int) {
+	atomic.AddUint64(&h.buckets[i], 1)
+}
+
+// snapshot stays entirely in accepted contexts: len, a value-less
+// array range, and atomic loads.
+func (h *histo) snapshot() []uint64 {
+	out := make([]uint64, 0, len(h.buckets))
+	for i := range h.buckets {
+		out = append(out, atomic.LoadUint64(&h.buckets[i]))
+	}
+	return out
+}
+
+func (h *histo) bad(i int) uint64 {
+	return h.buckets[i] // want "plain read of histo.buckets"
+}
+
+var total uint64
+
+func addTotal() {
+	atomic.AddUint64(&total, 1)
+}
+
+func readTotal() uint64 {
+	return total // want "plain read of atomicmix.total"
+}

@@ -1,0 +1,9 @@
+// Package broken parses cleanly but does not type-check: the loader
+// must surface the failure as collected TypeErrors, not a panic or a
+// hard load error, so p4lint can report it and keep analyzing the rest
+// of the tree.
+package broken
+
+func Use() int {
+	return undefinedIdentifier + 1
+}

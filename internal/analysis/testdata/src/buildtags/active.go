@@ -1,0 +1,9 @@
+//go:build !p4lint_fixture_other
+
+// Package buildtags carries a build-tag twin pair: exactly one of the
+// two files is in the default configuration, and a loader that ignored
+// constraints would see Marker redeclared.
+package buildtags
+
+// Marker reports which twin was compiled.
+func Marker() string { return "active" }

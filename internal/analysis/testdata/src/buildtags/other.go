@@ -1,0 +1,6 @@
+//go:build p4lint_fixture_other
+
+package buildtags
+
+// Marker reports which twin was compiled.
+func Marker() string { return "other" }

@@ -1,0 +1,31 @@
+// Package callgraph exercises Program construction: static edges,
+// interface dispatch, and method-set resolution through embedded types
+// (a promoted method must resolve to the embedded declaration's body).
+package callgraph
+
+type base struct{ n int }
+
+// Ping is the promoted method every path must resolve to.
+func (b *base) Ping() { b.n++ }
+
+type derived struct {
+	base
+	extra int
+}
+
+// Pong gives derived its own method set entry so it participates in
+// dispatch as a named type.
+func (d *derived) Pong() { d.extra++ }
+
+type pinger interface{ Ping() }
+
+// callThrough dispatches through the interface: conservative expansion
+// must reach base.Ping for both base and the embedding derived.
+func callThrough(p pinger) { p.Ping() }
+
+// callDirect selects the promoted method on the concrete embedding
+// type: a static edge to base.Ping.
+func callDirect(d *derived) { d.Ping() }
+
+// chainEntry gives reachability tests a two-hop static chain.
+func chainEntry(d *derived) { callDirect(d) }

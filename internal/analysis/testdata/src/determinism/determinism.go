@@ -1,0 +1,83 @@
+// Package determinism exercises the reproducibility pass: wall-clock
+// reads (direct and through out-of-scope helpers), the global math/rand
+// source, and order-sensitive map iteration.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/analysis/testdata/src/determinism/wallutil"
+)
+
+// now reads the wall clock directly.
+func now() time.Time {
+	return time.Now() // want "time.Now in deterministic package determinism"
+}
+
+// viaModule reaches the wall clock through the out-of-scope helper
+// package; the report lands here, on the deterministic caller, with
+// the chain.
+func viaModule() int64 {
+	return wallutil.Stamp() // want "reaches time.Now via Stamp -> stamp"
+}
+
+// timedRun documents why its wall-clock use is harmless.
+func timedRun() int64 {
+	return wallutil.Stamp() //p4:lint-exempt determinism: harness-only timing, never written to experiment output
+}
+
+// roll draws from the process-global source.
+func roll() int {
+	return rand.Intn(6) // want "global math/rand.Intn"
+}
+
+// seeded derives its stream from the experiment seed: accepted.
+func seeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(6)
+}
+
+// schedule fires an effect per key in map order.
+func schedule(tasks map[string]int) {
+	for _, t := range tasks { // want "performs a call to runTask per key"
+		runTask(t)
+	}
+}
+
+func runTask(int) {}
+
+// fanout sends per key in map order.
+func fanout(m map[string]int, ch chan int) {
+	for _, v := range m { // want "performs a channel send per key"
+		ch <- v
+	}
+}
+
+// leakOrder accumulates output that is never sorted.
+func leakOrder(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want "accumulates output in nondeterministic order"
+		out = append(out, k)
+	}
+	return out
+}
+
+// sortedKeys is the accepted collect-then-sort idiom.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// total aggregates commutatively: order cannot show.
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

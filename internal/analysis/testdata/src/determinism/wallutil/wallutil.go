@@ -1,0 +1,11 @@
+// Package wallutil stands in for an out-of-scope module package whose
+// helpers read the wall clock: the determinism pass must see through it
+// via the call graph rather than trusting the package boundary.
+package wallutil
+
+import "time"
+
+// Stamp returns a wall-clock timestamp through one more hop.
+func Stamp() int64 { return stamp() }
+
+func stamp() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,112 @@
+// Package hotpathprop exercises the transitive hot-path pass: a clean
+// root inherits the violations of everything it can reach through the
+// call graph, interface dispatch included, and the two exemption forms
+// cut reachability.
+package hotpathprop
+
+import (
+	"sync"
+	"time"
+)
+
+type state struct {
+	mu sync.Mutex
+	n  int
+}
+
+// lockingHelper looks harmless at the call site but takes the state
+// lock. It is not annotated, so nothing is reported here — the report
+// lands on the hot root that reaches it.
+func (s *state) lockingHelper() {
+	s.mu.Lock()
+	s.n++
+}
+
+// middle is clean and unannotated: one hop in the chain.
+func middle(s *state) {
+	s.lockingHelper()
+}
+
+// Root is the per-packet entry point; its report carries the full call
+// chain to the violation.
+//
+// p4:hotpath
+func Root(s *state) { // want "reaches mutex Lock in state.lockingHelper via Root -> middle -> state.lockingHelper"
+	middle(s)
+}
+
+// RootDirect violates the contract in its own body.
+//
+// p4:hotpath
+func RootDirect(ch chan int) {
+	ch <- 1 // want "channel send in p4:hotpath function RootDirect"
+}
+
+// growing allocates on growth: the hotalloc classes propagate across
+// the call boundary even though growing itself is unannotated.
+func growing(dst []int, v int) []int {
+	return append(dst, v)
+}
+
+// RootAlloc reaches the allocation one call away.
+//
+// p4:hotpath
+func RootAlloc(buf []int) { // want "reaches append without capacity reuse in growing via RootAlloc -> growing"
+	growing(buf, 1)
+}
+
+type sink interface{ Put(int) }
+
+type lockySink struct {
+	mu sync.Mutex
+}
+
+func (l *lockySink) Put(v int) {
+	l.mu.Lock()
+}
+
+type cleanSink struct {
+	total int
+}
+
+func (c *cleanSink) Put(v int) { c.total += v }
+
+// RootIface calls through an interface: conservative dispatch reaches
+// every implementation, and only the locking one is reported.
+//
+// p4:hotpath
+func RootIface(s sink) { // want "reaches mutex Lock in lockySink.Put via RootIface -> lockySink.Put .dispatched via interface sink."
+	s.Put(1)
+}
+
+// coldFlush drains accumulated state off the per-packet path.
+//
+// p4:hotpath-exempt: amortised flush runs once per batch, not per packet
+func coldFlush(m map[int]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// RootExempt reaches coldFlush, whose justified exemption ends both
+// checking and traversal.
+//
+// p4:hotpath
+func RootExempt(m map[int]int) {
+	coldFlush(m)
+}
+
+// badExempt claims the escape hatch without saying why.
+//
+// p4:hotpath-exempt:
+func badExempt() { // want "has no justification"
+	time.Now()
+}
+
+// RootLineExempt shows the line-level form: the justified comment stops
+// the report and the propagation.
+//
+// p4:hotpath
+func RootLineExempt() {
+	time.Now() //p4:lint-exempt hotpathprop: timestamp feeds fixture-local telemetry, never the packet path
+}

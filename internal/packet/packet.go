@@ -270,6 +270,10 @@ func (p *Packet) ExpectedAck() uint64 {
 // Clone returns a copy of the packet. TAPs use Clone so that the
 // monitoring path cannot mutate the packet still traversing the
 // production path.
+//
+// p4:hotpath-exempt: Clone is the non-pooled deep copy and allocates by
+// design; hot configurations set tap.Pair.Recycle and go through
+// ClonePooled, leaving this as the debug-tap fallback.
 func (p *Packet) Clone() *Packet {
 	q := *p
 	q.pooled = false
