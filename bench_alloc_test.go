@@ -145,6 +145,48 @@ func TestAllocFreePipesPerPacket(t *testing.T) {
 	}
 }
 
+// TestAllocFreeBatchPath pins the batch execution path: filling a
+// capacity-retained Front and draining it through ProcessFront
+// run-to-completion allocates nothing per batch at shards 1 and 4
+// (front append into retained capacity, hoisted counter commits,
+// memoised flow-ID hashing — no per-view work that could allocate).
+func TestAllocFreeBatchPath(t *testing.T) {
+	ft := allocFlow()
+	for _, shards := range []int{1, 4} {
+		p := dataplane.NewPipes(dataplane.Config{}, shards)
+		data := packet.NewTCP(ft, 1, 0, packet.FlagACK|packet.FlagPSH, 1448)
+		ack := packet.NewTCP(ft.Reverse(), 1, 1449, packet.FlagACK, 0)
+
+		const batch = 64
+		f := dataplane.NewFront(batch)
+		seq := uint64(1)
+		at := simtime.Millisecond
+		name := "batch fill+drain"
+		if shards > 1 {
+			name = "batch fill+drain (sharded)"
+		}
+		assertZeroAllocs(t, name, func() {
+			for i := 0; i < batch; i++ {
+				at += 10 * simtime.Microsecond
+				switch i % 4 {
+				case 0, 1:
+					data.SeqExt = seq
+					data.IPID = uint16(seq)
+					seq += 1448
+					f.AppendCopy(tap.Copy{Pkt: data, Point: tap.Ingress, At: at})
+				case 2:
+					f.AppendCopy(tap.Copy{Pkt: data, Point: tap.Egress, At: at})
+				default:
+					ack.AckExt = seq
+					f.AppendCopy(tap.Copy{Pkt: ack, Point: tap.Ingress, At: at})
+				}
+			}
+			p.ProcessFront(f)
+			f.Reset()
+		})
+	}
+}
+
 // TestAllocFreeObsPrimitives pins the telemetry primitives themselves:
 // counter and gauge mutation, a histogram observation, and a trace-ring
 // append are all single atomic ops or in-place ring writes.

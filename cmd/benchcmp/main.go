@@ -2,8 +2,8 @@
 // `go test -bench` output on stdin and either records it as a baseline
 // or compares it against a committed one, failing on ns/op regressions:
 //
-//	go test -run '^$' -bench Fig9 -benchmem | benchcmp -write BENCH_2.json
-//	go test -run '^$' -bench Fig9 -benchmem | benchcmp -baseline BENCH_2.json
+//	go test -run '^$' -bench Fig9 -benchmem | benchcmp -write BENCH_7.json
+//	go test -run '^$' -bench Fig9 -benchmem | benchcmp -baseline BENCH_7.json
 //
 // Wall-clock comparisons across different machines are inherently
 // noisy; the -max-regress-pct threshold (default 10) absorbs ordinary

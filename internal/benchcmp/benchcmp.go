@@ -23,7 +23,7 @@ type Result struct {
 	Iterations int64 `json:"iterations,omitempty"`
 }
 
-// Baseline is the committed reference file (BENCH_2.json): the measured
+// Baseline is the committed reference file (BENCH_7.json): the measured
 // results keyed by benchmark name, plus free-form notes describing the
 // machine and command that produced them.
 type Baseline struct {

@@ -2,15 +2,53 @@
 
 package dataplane
 
-// crcSum computes crc32.Checksum(p, crcTable) with the standard
-// table-driven loop. The stdlib entry point leaks its argument to
-// escape analysis, which would move every packed key to the heap; the
-// local loop keeps the 12–17-byte hash inputs on the stack. The output
-// is bit-identical (TestCRCSumMatchesStdlib pins it).
+import "encoding/binary"
+
+// crcSlicing extends crcTable to the slicing-by-8 form: table j maps a
+// byte to its CRC contribution from j positions further into the
+// message, so one iteration folds 8 input bytes with 8 independent
+// table loads instead of 8 dependent byte steps. Built once at init
+// from the same Castagnoli polynomial; bit-identical output
+// (TestCRCSumMatchesStdlib pins it).
+var crcSlicing = func() [8][256]uint32 {
+	var t [8][256]uint32
+	copy(t[0][:], crcTable[:])
+	for i := 0; i < 256; i++ {
+		crc := t[0][i]
+		for j := 1; j < 8; j++ {
+			crc = t[0][byte(crc)] ^ (crc >> 8)
+			t[j][i] = crc
+		}
+	}
+	return t
+}()
+
+// crcSum computes crc32.Checksum(p, crcTable) with a slicing-by-8 main
+// loop and a table-driven tail. The stdlib entry point leaks its
+// argument to escape analysis, which would move every packed key to the
+// heap; the local loop keeps the 12–17-byte hash inputs on the stack,
+// and slicing-by-8 folds the 8-byte head of every key in one step —
+// the per-packet program hashes up to ~120 key bytes (flow ID, reversed
+// ID, signature indexes, CMS rows), so the fold is a first-order win on
+// the batch inner loop. The output is bit-identical to the
+// byte-at-a-time loop it replaced (TestCRCSumMatchesStdlib pins it).
 //
 // p4:hotpath
 func crcSum(p []byte) uint32 {
 	crc := ^uint32(0)
+	for len(p) >= 8 {
+		lo := crc ^ binary.LittleEndian.Uint32(p)
+		hi := binary.LittleEndian.Uint32(p[4:])
+		crc = crcSlicing[7][byte(lo)] ^
+			crcSlicing[6][byte(lo>>8)] ^
+			crcSlicing[5][byte(lo>>16)] ^
+			crcSlicing[4][byte(lo>>24)] ^
+			crcSlicing[3][byte(hi)] ^
+			crcSlicing[2][byte(hi>>8)] ^
+			crcSlicing[1][byte(hi>>16)] ^
+			crcSlicing[0][byte(hi>>24)]
+		p = p[8:]
+	}
 	for _, b := range p {
 		crc = crcTable[byte(crc)^b] ^ (crc >> 8)
 	}

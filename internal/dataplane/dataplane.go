@@ -209,7 +209,54 @@ type DataPlane struct {
 	// the pipeline uninstrumented at the cost of one branch per packet.
 	obs *dpObs
 
+	// idCache memoises flow-key CRC hashing across packets (see
+	// flowIDs). Plain fields: a pipe is single-writer by contract.
+	idCache [idCacheSize]idCacheEntry
+
+	// batch holds the per-batch hoisted state ProcessFront threads
+	// through the inner loop (monitor-table run cache, deferred
+	// counter deltas); zeroed at each batch start.
+	batch batchState
+
 	Stats Stats
+}
+
+// idCacheSize is the number of direct-mapped flow-ID memo entries. Four
+// entries cover the handful of flows that interleave at packet
+// granularity on one pipe; the index mixes direction-symmetric key
+// bytes so a flow and its ACK stream share an entry.
+const idCacheSize = 4
+
+// idCacheEntry memoises one packed key (and its reverse) with both CRC
+// flow IDs, so same-flow packet runs — and the egress copies and ACKs
+// that follow — skip the hash entirely.
+type idCacheEntry struct {
+	key, rkey FlowKey
+	fwd, rev  FlowID
+	ok        bool
+}
+
+// flowIDs returns the forward and reversed CRC flow IDs for a packed
+// key, consulting the direct-mapped memo first. The memo is a pure
+// function cache — entries never go stale — and the index is
+// direction-symmetric, so an ACK hits the entry its data stream filled.
+//
+// p4:hotpath
+func (d *DataPlane) flowIDs(k FlowKey) (FlowID, FlowID) {
+	slot := &d.idCache[(k[3]^k[7]^k[9]^k[11])&(idCacheSize-1)]
+	if slot.ok {
+		if k == slot.key {
+			return slot.fwd, slot.rev
+		}
+		if k == slot.rkey {
+			return slot.rev, slot.fwd
+		}
+	}
+	r := k.Reverse()
+	slot.key, slot.rkey = k, r
+	slot.fwd, slot.rev = k.Hash(), r.Hash()
+	slot.ok = true
+	return slot.fwd, slot.rev
 }
 
 // New builds a pipeline with the given configuration.
@@ -333,11 +380,66 @@ func parseCopy(c tap.Copy) view {
 // measurement algorithms; egress copies close the queuing-delay
 // measurement and feed the microburst detector. Copies are not retained:
 // the TAP pair may recycle the packet as soon as this returns.
+// ProcessCopy is the batch of one: the run-to-completion path over a
+// whole Front is ProcessFront.
 //
 // p4:hotpath
 func (d *DataPlane) ProcessCopy(c tap.Copy) {
 	v := parseCopy(c)
+	// The monitor table may be reprogrammed between two per-packet
+	// calls; only a batch pins it (see batchState).
+	d.batch.monOK = false
 	d.processView(&v)
+}
+
+// batchState is the state ProcessFront hoists out of the batch inner
+// loop: the monitor-table run cache. Within one batch the table cannot
+// change (batch execution is single-writer and control-plane table
+// writes barrier on the front-end flush first), so a run of packets to
+// the same destination resolves the match-action decision once; the
+// table's hit/miss counters are still advanced per packet, keeping
+// observable state identical to the per-packet path.
+type batchState struct {
+	monDstKey uint64
+	monSkip   bool
+	monHit    bool
+	monOK     bool
+}
+
+// ProcessFront drains a parsed batch through the entire ingress/egress
+// match-action program run-to-completion — the yanet2 packet_front
+// idiom. Per-view cost approaches a few array ops: the copy-count
+// statistics and their obs hooks are accumulated in registers and
+// committed once per batch, the monitor-table decision is cached
+// across same-destination runs, and flow-ID CRCs hit the memo for
+// same-flow runs. State after ProcessFront is byte-identical to
+// feeding the same views through ProcessCopy one at a time (the batch
+// equivalence property test pins this). The front may be reused by the
+// caller as soon as ProcessFront returns.
+//
+// p4:hotpath
+func (d *DataPlane) ProcessFront(f *Front) {
+	b := f.views
+	if len(b) == 0 {
+		return
+	}
+	d.batch.monOK = false
+	var ingress, egress uint64
+	for k := range b {
+		if b[k].point == tap.Ingress {
+			ingress++
+			d.processIngress(&b[k])
+		} else {
+			egress++
+			d.processEgress(&b[k])
+		}
+	}
+	d.Stats.IngressCopies += ingress
+	d.Stats.EgressCopies += egress
+	if o := d.obs; o != nil {
+		o.ingressCopies.Add(ingress)
+		o.egressCopies.Add(egress)
+	}
 }
 
 // processView runs one parsed copy through the match-action stages.
@@ -370,8 +472,24 @@ func (d *DataPlane) processView(v *view) {
 func (d *DataPlane) processIngress(v *view) {
 	now := v.at
 	// The monitor table decides whether this packet enters the
-	// measurement program at all.
-	if action, _, _ := d.monitorTable.Lookup([]uint64{v.dstKey}); action == "skip" {
+	// measurement program at all. Within a batch, a run of packets to
+	// the same destination resolves the decision from the run cache
+	// (advancing the table's hit/miss counters exactly as the lookup
+	// would); the first packet of a run does the real lookup.
+	var skip bool
+	if d.batch.monOK && d.batch.monDstKey == v.dstKey {
+		skip = d.batch.monSkip
+		if d.batch.monHit {
+			d.monitorTable.Hits++
+		} else {
+			d.monitorTable.Misses++
+		}
+	} else {
+		action, _, hit := d.monitorTable.Lookup([]uint64{v.dstKey})
+		skip = action == "skip"
+		d.batch = batchState{monDstKey: v.dstKey, monSkip: skip, monHit: hit, monOK: true}
+	}
+	if skip {
 		d.Stats.SkippedPackets++
 		if o := d.obs; o != nil {
 			o.skipped.Inc()
@@ -380,7 +498,7 @@ func (d *DataPlane) processIngress(v *view) {
 	}
 
 	key := v.key
-	id := key.Hash()
+	id, revID := d.flowIDs(key)
 	idx := uint32(id)
 
 	// Stamp the ingress time for queuing-delay pairing with the egress
@@ -409,9 +527,9 @@ func (d *DataPlane) processIngress(v *view) {
 
 	switch {
 	case v.data:
-		d.processData(v, key, id, idx, now)
+		d.processData(v, key, id, revID, idx, now)
 	case v.ackOnly:
-		d.processAck(v, key, id, now)
+		d.processAck(v, id, revID, now)
 	}
 }
 
@@ -419,7 +537,7 @@ func (d *DataPlane) processIngress(v *view) {
 // long-flow, flight and IAT bookkeeping.
 //
 // p4:hotpath
-func (d *DataPlane) processData(v *view, key FlowKey, id FlowID, idx uint32, now simtime.Time) {
+func (d *DataPlane) processData(v *view, key FlowKey, id, revID FlowID, idx uint32, now simtime.Time) {
 	// Inter-arrival time (the mmWave blockage signal, §5.4.3).
 	if last := d.lastArrReg.Read(idx); last != 0 {
 		iat := uint64(now) - last
@@ -434,7 +552,7 @@ func (d *DataPlane) processData(v *view, key FlowKey, id FlowID, idx uint32, now
 		if d.OnLongFlow != nil {
 			d.OnLongFlow(LongFlowEvent{
 				ID:    id,
-				RevID: key.Reverse().Hash(),
+				RevID: revID,
 				Tuple: v.tuple,
 				At:    now,
 				Bytes: est,
@@ -455,7 +573,6 @@ func (d *DataPlane) processData(v *view, key FlowKey, id FlowID, idx uint32, now
 		d.prevSeqReg.Write(idx, v.seqExt)
 
 		// Store the expected-ACK signature and timestamp.
-		revID := key.Reverse().Hash()
 		eack := v.expAck
 		sig := uint64(revID)<<32 | (eack & 0xffffffff)
 		eidx := hash2(revID, eack)
@@ -476,7 +593,7 @@ func (d *DataPlane) processData(v *view, key FlowKey, id FlowID, idx uint32, now
 // advance the data flow's acknowledged high-water mark.
 //
 // p4:hotpath
-func (d *DataPlane) processAck(v *view, key FlowKey, id FlowID, now simtime.Time) {
+func (d *DataPlane) processAck(v *view, id, revID FlowID, now simtime.Time) {
 	ack := v.ackExt
 	sig := uint64(id)<<32 | (ack & 0xffffffff)
 	eidx := hash2(id, ack)
@@ -498,8 +615,7 @@ func (d *DataPlane) processAck(v *view, key FlowKey, id FlowID, now simtime.Time
 	}
 
 	// The ACK acknowledges the reverse flow's data.
-	dataID := key.Reverse().Hash()
-	dataIdx := uint32(dataID)
+	dataIdx := uint32(revID)
 	d.highAckReg.Max(dataIdx, ack)
 	d.updateFlight(dataIdx, now)
 }
@@ -532,7 +648,7 @@ func (d *DataPlane) updateFlight(idx uint32, now simtime.Time) {
 // p4:hotpath
 func (d *DataPlane) processEgress(v *view) {
 	now := v.at
-	id := v.key.Hash()
+	id, _ := d.flowIDs(v.key)
 	qidx := hash2(id, uint64(v.ipid))
 	want := uint64(id)<<16 | uint64(v.ipid)
 	if d.qSig.Read(qidx) != want {
@@ -648,9 +764,13 @@ func (d *DataPlane) SetMicroburstHandler(fn func(MicroburstEvent)) { d.OnMicrobu
 // Stats).
 func (d *DataPlane) StatsSnapshot() Stats { return d.Stats }
 
-// Flush is a no-op on a single pipe: every copy is processed
-// synchronously. It exists so DataPlane satisfies the Plane interface
-// the sharded front-end defines a real barrier for.
+// Flush is the Plane barrier reduced to the single-pipe contract: a
+// DataPlane processes every copy synchronously inside ProcessCopy or
+// ProcessFront, so when Flush is called there is no batched work to
+// replay and no deferred event to deliver, and the method is a
+// guaranteed no-op. Callers holding a Plane may therefore call Flush
+// unconditionally; only the sharded front-end turns it into a real
+// barrier (see Pipes.Flush).
 func (d *DataPlane) Flush() {}
 
 // Plane is the pipeline surface the control plane drives: per-flow

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/tap"
 )
@@ -54,10 +55,16 @@ type Pipes struct {
 	OnMicroburst func(MicroburstEvent)
 
 	mu      sync.Mutex
-	batches [][]view
-	work    []int        // scratch: shards with a non-empty batch this flush
+	fronts  []*Front
+	work    []int        // scratch: shards with a non-empty front this flush
 	cursor  atomic.Int64 // work-stealing cursor for the flush workers
 	workers int
+
+	// Batch-shape telemetry (RegisterObs): views per drained front and
+	// the simulated time span each front covers. Atomic observes, so
+	// flush workers may record them concurrently.
+	frontViews  *obs.Histogram
+	frontSpanNs *obs.Histogram
 
 	// Per-shard deferred event buffers, appended by shard hooks during
 	// worker replay (single writer per index) and drained in shard
@@ -99,13 +106,13 @@ func NewPipes(cfg Config, shards int) *Pipes {
 	if p.workers > shards {
 		p.workers = shards
 	}
-	p.batches = make([][]view, shards)
+	p.fronts = make([]*Front, shards)
 	p.work = make([]int, 0, shards)
 	p.lfPend = make([][]LongFlowEvent, shards)
 	p.mbPend = make([][]MicroburstEvent, shards)
 	for i := range p.shards {
 		i := i
-		p.batches[i] = make([]view, 0, pipeBatch)
+		p.fronts[i] = NewFront(pipeBatch)
 		p.shards[i].OnLongFlow = func(ev LongFlowEvent) {
 			ev.Shard = i
 			p.lfPend[i] = append(p.lfPend[i], ev)
@@ -171,19 +178,53 @@ func (p *Pipes) ProcessCopy(c tap.Copy) {
 	}
 	v := parseCopy(c)
 	s := shardOf(v.key, p.n)
-	p.mu.Lock() //p4:lint-exempt hotpathprop: the batch mutex is the documented serial-equivalence barrier; the critical section only appends to a pre-sized batch and is never held across I/O
-	p.batches[s] = append(p.batches[s], v)
+	p.mu.Lock() //p4:lint-exempt hotpathprop: the batch mutex is the documented serial-equivalence barrier; the critical section only appends to a pre-sized front and is never held across I/O
+	p.fronts[s].append(&v)
 	p.batchedViews++
-	if len(p.batches[s]) == cap(p.batches[s]) {
+	if p.fronts[s].Len() >= pipeBatch {
 		p.flushLocked()
 	}
+	p.mu.Unlock() //p4:lint-exempt hotpathprop: pairs with the exempted Lock above
+}
+
+// ProcessFront ingests a whole pre-parsed front in one call — the bulk
+// counterpart of ProcessCopy for producers (the replay front-end) that
+// batch upstream of the partition. At shards == 1 the front drains
+// straight through the single pipe run-to-completion, with events
+// delivered inline exactly as ProcessCopy would. At shards > 1 the
+// mutex is taken once per front instead of once per packet: every view
+// is moved to its owning shard's front and the batch is replayed to
+// the barrier before ProcessFront returns, so the caller may reuse f
+// (Reset and refill) immediately.
+//
+// p4:hotpath
+func (p *Pipes) ProcessFront(f *Front) {
+	if f.Len() == 0 {
+		return
+	}
+	if p.n == 1 {
+		if p.frontViews != nil {
+			p.frontViews.Observe(uint64(f.Len()))
+			p.frontSpanNs.Observe(uint64(f.Span()))
+		}
+		p.shards[0].ProcessFront(f)
+		return
+	}
+	b := f.views
+	p.mu.Lock() //p4:lint-exempt hotpathprop: one acquisition per front, not per packet — this hoist is the point of the batch path
+	for k := range b {
+		p.fronts[shardOf(b[k].key, p.n)].append(&b[k])
+	}
+	p.batchedViews += uint64(len(b))
+	p.flushLocked()
 	p.mu.Unlock() //p4:lint-exempt hotpathprop: pairs with the exempted Lock above
 }
 
 // Flush forces the barrier: every batched view is replayed on its
 // shard and joined before Flush returns. The engine (or any caller
 // about to read state) uses it to re-establish the serial-equivalent
-// view. A no-op at shards == 1.
+// view. A no-op at shards == 1, where the single pipe's synchronous
+// contract (see DataPlane.Flush) already holds.
 func (p *Pipes) Flush() {
 	if p.n == 1 {
 		return
@@ -201,8 +242,8 @@ func (p *Pipes) Flush() {
 // Deferred shard events are delivered after the join, in shard order.
 func (p *Pipes) flushLocked() {
 	work := p.work[:0]
-	for i := range p.batches {
-		if len(p.batches[i]) > 0 {
+	for i := range p.fronts {
+		if p.fronts[i].Len() > 0 {
 			work = append(work, i)
 		}
 	}
@@ -236,15 +277,18 @@ func (p *Pipes) flushLocked() {
 	p.deliverPendingLocked()
 }
 
-// replayShard drains one shard's batch through its pipeline. Called
-// either serially or from exactly one flush worker at a time.
+// replayShard drains one shard's front through its pipeline
+// run-to-completion. Called either serially or from exactly one flush
+// worker at a time; the histogram observes are atomic, so concurrent
+// workers may record them.
 func (p *Pipes) replayShard(i int) {
-	b := p.batches[i]
-	d := p.shards[i]
-	for k := range b {
-		d.processView(&b[k])
+	f := p.fronts[i]
+	if p.frontViews != nil {
+		p.frontViews.Observe(uint64(f.Len()))
+		p.frontSpanNs.Observe(uint64(f.Span()))
 	}
-	p.batches[i] = b[:0]
+	p.shards[i].ProcessFront(f)
+	f.Reset()
 }
 
 // deliverPendingLocked drains the deferred long-flow and microburst

@@ -20,6 +20,13 @@ import (
 // points must stay driven by the simulation, not by wall-clock
 // scrapes).
 func (p *Pipes) RegisterObs(r *obs.Registry) {
+	// Batch-shape histograms exist at every shard count: how many views
+	// each drained front carried and the simulated time span it covered
+	// (fill latency in simtime — deterministic, unlike wall clock).
+	p.frontViews = r.NewHistogram("p4_pipes_front_views",
+		"Views per front drained through the batch path, power-of-two buckets.")
+	p.frontSpanNs = r.NewHistogram("p4_pipes_front_span_ns",
+		"Simulated fill span (last-first timestamp, ns) per drained front, power-of-two buckets.")
 	if p.n == 1 {
 		p.shards[0].RegisterObs(r)
 		return

@@ -1,0 +1,89 @@
+package replay
+
+import (
+	"time"
+
+	"repro/internal/dataplane"
+	"repro/internal/packet"
+)
+
+// defaultBatch is the front capacity the Runner uses when none is
+// configured — the same batch size the sharded front-end flushes at.
+const defaultBatch = 1024
+
+// Runner streams a Source into the data plane's batch path and
+// measures throughput. One scratch packet and one reused Front carry
+// the whole stream: the steady-state loop allocates nothing
+// (bench_alloc_test.go proves it), so the measured rate is the
+// pipeline's, not the harness's.
+type Runner struct {
+	// Plane is the pipeline under load (1..N shards).
+	Plane *dataplane.Pipes
+	// Batch is the front capacity per ProcessFront call; 0 means the
+	// front-end's native batch size (1024).
+	Batch int
+}
+
+// Result is one replay run's outcome.
+type Result struct {
+	// Packets is the number of TAP records ingested (both points).
+	Packets uint64
+	// IngressBytes is the wire byte volume the ingress records
+	// represent — the traffic volume behind the Gbps figure.
+	IngressBytes uint64
+	// Elapsed is the wall-clock run time, ProcessFront through the
+	// final barrier.
+	Elapsed time.Duration
+	// Stats is the pipeline's merged counter snapshot after the run.
+	Stats dataplane.Stats
+}
+
+// PPS is the measured packet rate (TAP records per wall-clock second).
+func (r Result) PPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Packets) / r.Elapsed.Seconds()
+}
+
+// Gbps is the represented traffic rate in gigabits per second.
+func (r Result) Gbps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.IngressBytes) * 8 / r.Elapsed.Seconds() / 1e9
+}
+
+// Run drains src through the pipeline and returns the measured result.
+// The clock starts at the first record and stops after the final
+// barrier, so partially-filled trailing fronts are paid for honestly.
+func (rn Runner) Run(src Source) Result {
+	batch := rn.Batch
+	if batch <= 0 {
+		batch = defaultBatch
+	}
+	front := dataplane.NewFront(batch)
+	var (
+		pkt packet.Packet
+		rec Record
+		res Result
+	)
+	start := time.Now()
+	for src.Next(&rec) {
+		res.Packets++
+		if rec.Point == 0 {
+			res.IngressBytes += rec.WireLen()
+		}
+		front.AppendCopy(rec.CopyInto(&pkt))
+		if front.Len() >= batch {
+			rn.Plane.ProcessFront(front)
+			front.Reset()
+		}
+	}
+	rn.Plane.ProcessFront(front)
+	front.Reset()
+	rn.Plane.Flush()
+	res.Elapsed = time.Since(start)
+	res.Stats = rn.Plane.StatsSnapshot()
+	return res
+}

@@ -1,0 +1,166 @@
+package replay
+
+import "repro/internal/simtime"
+
+// Synth generates a deterministic synthetic workload in trace-record
+// form: round-robined TCP flows sending MSS-sized segments, with pure
+// ACKs in the reverse direction every AckEvery data packets, an egress
+// TAP copy for every EgressEvery-th data packet (closing the
+// queuing-delay pairing), and a periodic retransmission so Algorithm
+// 1's loss branch executes. No RNG and no wall clock — two Synths with
+// the same parameters emit byte-identical streams, so benchmark runs
+// and the equivalence tests see a stable workload.
+//
+// The zero value is not usable; parameters default on the first Next
+// call (4 flows, 1460-byte MSS, 1 µs spacing, ACK every 4 data
+// packets, egress copy every 4th data packet, retransmit every 997th).
+// Packets must be set: it is the total number of records produced.
+type Synth struct {
+	// Flows is the number of concurrent flows, interleaved per record.
+	Flows int
+	// Packets is the total number of TAP records to produce.
+	Packets int
+	// MSS is the TCP payload size per data segment.
+	MSS int
+	// AckEvery inserts one reverse-direction pure ACK after every
+	// AckEvery data packets on a flow.
+	AckEvery int
+	// EgressEvery emits the egress TAP copy for every EgressEvery-th
+	// data packet (the others model packets mirrored only at ingress).
+	EgressEvery int
+	// RetransEvery rewinds the sequence cursor one segment every
+	// RetransEvery data packets, exercising the loss counter.
+	RetransEvery int
+	// Spacing is the simulated timestamp distance between records.
+	Spacing simtime.Time
+	// EgressDelay is the simulated core-switch transit time applied to
+	// egress copies; it must stay below Spacing to keep timestamps
+	// monotonic.
+	EgressDelay simtime.Time
+
+	n        int
+	flow     int
+	at       uint64
+	init     bool
+	pending  bool
+	pend     Record
+	seq      []uint64
+	sent     []uint64 // cumulative data segments per flow
+	sinceAck []uint64 // data segments since the flow's last pure ACK
+	ipid     []uint16
+}
+
+func (s *Synth) defaults() {
+	if s.Flows <= 0 {
+		s.Flows = 4
+	}
+	if s.MSS <= 0 {
+		s.MSS = 1460
+	}
+	if s.AckEvery <= 0 {
+		s.AckEvery = 4
+	}
+	if s.EgressEvery <= 0 {
+		s.EgressEvery = 4
+	}
+	if s.RetransEvery <= 0 {
+		s.RetransEvery = 997
+	}
+	if s.Spacing <= 0 {
+		s.Spacing = simtime.Microsecond
+	}
+	if s.EgressDelay <= 0 || s.EgressDelay >= s.Spacing {
+		s.EgressDelay = s.Spacing / 2
+	}
+	s.seq = make([]uint64, s.Flows)
+	s.sent = make([]uint64, s.Flows)
+	s.sinceAck = make([]uint64, s.Flows)
+	s.ipid = make([]uint16, s.Flows)
+	for f := range s.seq {
+		s.seq[f] = 1 // post-SYN relative sequence space
+	}
+	s.init = true
+}
+
+// Next implements Source. One call emits one record; an egress copy
+// scheduled by EgressEvery is emitted by the following call, keeping
+// the stream strictly sequential.
+//
+// p4:hotpath
+func (s *Synth) Next(r *Record) bool {
+	if s.n >= s.Packets {
+		return false
+	}
+	if !s.init {
+		s.defaults()
+	}
+	s.n++
+	if s.pending {
+		s.pending = false
+		*r = s.pend
+		return true
+	}
+	f := s.flow
+	s.flow++
+	if s.flow == s.Flows {
+		s.flow = 0
+	}
+	s.at += uint64(s.Spacing)
+
+	// Flow f's endpoints: 10.0.x.y -> 10.1.x.y, iperf3-style ports.
+	src := [4]byte{10, 0, byte(f >> 8), byte(f)}
+	dst := [4]byte{10, 1, byte(f >> 8), byte(f)}
+
+	if s.sinceAck[f] >= uint64(s.AckEvery) {
+		s.sinceAck[f] = 0
+		// Pure ACK from the receiver, cumulative up to everything sent.
+		*r = Record{
+			At:      s.at,
+			Ack:     s.seq[f],
+			SrcIP:   dst,
+			DstIP:   src,
+			SrcPort: 5201,
+			DstPort: 40000,
+			// IPv4 + TCP headers only.
+			TotalLen: 40,
+			IPID:     s.ipid[f],
+			Proto:    6,
+			Flags:    0x10, // ACK
+			Point:    0,
+		}
+		s.ipid[f]++
+		return true
+	}
+
+	seq := s.seq[f]
+	if s.sent[f] > 1 && s.sent[f]%uint64(s.RetransEvery) == 0 {
+		// Resend the segment before the previous one: strictly below the
+		// pipeline's prev-seq register, so Algorithm 1 counts a loss.
+		seq -= 2 * uint64(s.MSS)
+	} else {
+		s.seq[f] += uint64(s.MSS)
+	}
+	s.sent[f]++
+	s.sinceAck[f]++
+	*r = Record{
+		At:       s.at,
+		Seq:      seq,
+		SrcIP:    src,
+		DstIP:    dst,
+		SrcPort:  40000,
+		DstPort:  5201,
+		TotalLen: uint16(40 + s.MSS),
+		IPID:     s.ipid[f],
+		Proto:    6,
+		Flags:    0x10,
+		Point:    0,
+	}
+	if s.sent[f]%uint64(s.EgressEvery) == 0 {
+		s.pend = *r
+		s.pend.At = s.at + uint64(s.EgressDelay)
+		s.pend.Point = 1
+		s.pending = true
+	}
+	s.ipid[f]++
+	return true
+}

@@ -1,0 +1,160 @@
+package replay
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Trace file format: an 8-byte magic ("P4TRACE1") followed by
+// fixed-size little-endian records until EOF. No count field — a trace
+// can be streamed to a pipe and truncation is detected structurally
+// (a torn final record fails the read).
+const traceMagic = "P4TRACE1"
+
+// recordSize is the encoded size of one Record: 3×u64 + 2×IPv4 +
+// 4×u16 + 3×u8 + 1 pad byte.
+const recordSize = 44
+
+// errTornTrace reports a trace whose byte length is not a whole number
+// of records — the signature of an interrupted recording.
+var errTornTrace = errors.New("replay: torn trace record (truncated file?)")
+
+// encode packs the record into its 44-byte wire form.
+func (r *Record) encode(b *[recordSize]byte) {
+	binary.LittleEndian.PutUint64(b[0:], r.At)
+	binary.LittleEndian.PutUint64(b[8:], r.Seq)
+	binary.LittleEndian.PutUint64(b[16:], r.Ack)
+	copy(b[24:28], r.SrcIP[:])
+	copy(b[28:32], r.DstIP[:])
+	binary.LittleEndian.PutUint16(b[32:], r.SrcPort)
+	binary.LittleEndian.PutUint16(b[34:], r.DstPort)
+	binary.LittleEndian.PutUint16(b[36:], r.TotalLen)
+	binary.LittleEndian.PutUint16(b[38:], r.IPID)
+	b[40] = r.Proto
+	b[41] = r.Flags
+	b[42] = r.Point
+	b[43] = 0
+}
+
+// decode unpacks the 44-byte wire form.
+func (r *Record) decode(b *[recordSize]byte) {
+	r.At = binary.LittleEndian.Uint64(b[0:])
+	r.Seq = binary.LittleEndian.Uint64(b[8:])
+	r.Ack = binary.LittleEndian.Uint64(b[16:])
+	copy(r.SrcIP[:], b[24:28])
+	copy(r.DstIP[:], b[28:32])
+	r.SrcPort = binary.LittleEndian.Uint16(b[32:])
+	r.DstPort = binary.LittleEndian.Uint16(b[34:])
+	r.TotalLen = binary.LittleEndian.Uint16(b[36:])
+	r.IPID = binary.LittleEndian.Uint16(b[38:])
+	r.Proto = b[40]
+	r.Flags = b[41]
+	r.Point = b[42]
+}
+
+// Writer streams records to a trace file. Writes are buffered; call
+// Flush before closing the underlying file.
+type Writer struct {
+	w       *bufio.Writer
+	buf     [recordSize]byte
+	n       uint64
+	started bool
+	err     error
+}
+
+// NewWriter wraps w as a trace writer. The magic header is emitted on
+// the first record, so an aborted recording with zero records leaves
+// an empty (not malformed) file.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write appends one record. The first error sticks: later calls
+// return it without writing.
+func (w *Writer) Write(r *Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	if !w.started {
+		w.started = true
+		if _, err := w.w.WriteString(traceMagic); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	r.encode(&w.buf)
+	if _, err := w.w.Write(w.buf[:]); err != nil {
+		w.err = err
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count reports the records written so far.
+func (w *Writer) Count() uint64 { return w.n }
+
+// Flush drains the buffer to the underlying writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.w.Flush()
+	return w.err
+}
+
+// Reader streams records from a trace file. It implements Source;
+// check Err after the stream ends to distinguish EOF from a torn or
+// malformed trace.
+type Reader struct {
+	r       *bufio.Reader
+	buf     [recordSize]byte
+	started bool
+	err     error
+	done    bool
+}
+
+// NewReader wraps r as a trace reader.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Next implements Source: it fills rec with the next record, returning
+// false at EOF or on the first error (see Err).
+func (rd *Reader) Next(rec *Record) bool {
+	if rd.done {
+		return false
+	}
+	if !rd.started {
+		rd.started = true
+		if _, err := io.ReadFull(rd.r, rd.buf[:len(traceMagic)]); err != nil {
+			rd.done = true
+			if err != io.EOF { // empty trace is valid: zero records
+				rd.err = fmt.Errorf("replay: reading trace header: %w", err)
+			}
+			return false
+		}
+		if string(rd.buf[:len(traceMagic)]) != traceMagic {
+			rd.done = true
+			rd.err = fmt.Errorf("replay: not a trace file (bad magic %q)", rd.buf[:len(traceMagic)])
+			return false
+		}
+	}
+	if _, err := io.ReadFull(rd.r, rd.buf[:]); err != nil {
+		rd.done = true
+		if err == io.ErrUnexpectedEOF {
+			rd.err = errTornTrace
+		} else if err != io.EOF {
+			rd.err = err
+		}
+		return false
+	}
+	rec.decode(&rd.buf)
+	return true
+}
+
+// Err returns the first error encountered, or nil after a clean EOF.
+func (rd *Reader) Err() error { return rd.err }

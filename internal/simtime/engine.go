@@ -122,53 +122,71 @@ func (e *Engine) less(i, j int) bool {
 	return e.pq[i].seq < e.pq[j].seq
 }
 
-// push appends ev and restores the 4-ary heap invariant (sift-up).
+// push appends ev and restores the 4-ary heap invariant. It sifts a
+// hole up rather than swapping: parents shift down one copy per level
+// and ev lands exactly once, instead of three 72-byte event moves per
+// level. Ordering is unchanged — the hole stops exactly where the
+// swapping loop would have left ev.
 //
 // p4:hotpath
 func (e *Engine) push(ev event) {
 	e.pq = append(e.pq, ev)
-	i := len(e.pq) - 1
+	pq := e.pq
+	i := len(pq) - 1
 	for i > 0 {
 		parent := (i - 1) >> 2
-		if !e.less(i, parent) {
+		if pq[parent].at < ev.at || (pq[parent].at == ev.at && pq[parent].seq < ev.seq) {
 			break
 		}
-		e.pq[i], e.pq[parent] = e.pq[parent], e.pq[i]
+		pq[i] = pq[parent]
 		i = parent
 	}
+	pq[i] = ev
 }
 
 // pop removes and returns the minimum event (sift-down). The vacated
 // tail slot is cleared so popped closures and arguments do not pin their
 // referents against the garbage collector while the slot waits on the
-// free list.
+// free list. Like push, it sifts a hole down against the detached tail
+// event's (at, seq) key held in registers: one event copy per level
+// instead of a three-copy swap, with the tail landing exactly where the
+// swapping loop would have put it.
 //
 // p4:hotpath
 func (e *Engine) pop() event {
-	n := len(e.pq) - 1
-	top := e.pq[0]
-	e.pq[0] = e.pq[n]
-	e.pq[n] = event{} // release references; the slot stays on the free list
-	e.pq = e.pq[:n]
+	pq := e.pq
+	n := len(pq) - 1
+	top := pq[0]
+	tail := pq[n]
+	pq[n] = event{} // release references; the slot stays on the free list
+	e.pq = pq[:n]
+	tailAt, tailSeq := tail.at, tail.seq
 	i := 0
 	for {
-		min := i
 		// Children of i occupy 4i+1 .. 4i+4.
 		first := i<<2 + 1
+		if first >= n {
+			break
+		}
 		last := first + 4
 		if last > n {
 			last = n
 		}
-		for c := first; c < last; c++ {
-			if e.less(c, min) {
-				min = c
+		min := first
+		minAt, minSeq := pq[min].at, pq[min].seq
+		for c := first + 1; c < last; c++ {
+			if pq[c].at < minAt || (pq[c].at == minAt && pq[c].seq < minSeq) {
+				min, minAt, minSeq = c, pq[c].at, pq[c].seq
 			}
 		}
-		if min == i {
+		if minAt > tailAt || (minAt == tailAt && minSeq > tailSeq) {
 			break
 		}
-		e.pq[i], e.pq[min] = e.pq[min], e.pq[i]
+		pq[i] = pq[min]
 		i = min
+	}
+	if n > 0 {
+		pq[i] = tail
 	}
 	return top
 }

@@ -1,0 +1,47 @@
+package trafficgen
+
+import (
+	"io"
+
+	"repro/internal/replay"
+	"repro/internal/tap"
+)
+
+// Recorder is a tap.Monitor tee: every TAP copy is appended to a
+// replay trace and forwarded to the inner monitor unchanged, so a live
+// simulation can be captured for later high-rate replay (the
+// record/replay half of the batch ingest front-end). The recorder
+// keeps no reference to the packet — the copy is reduced to its
+// value-typed trace record before the inner monitor runs — so it is
+// safe behind a recycling TAP pair.
+//
+// Writes are buffered; call Flush when the simulation ends. The first
+// write error sticks and is reported by Flush (a simulation step has
+// no useful way to handle a disk error mid-packet).
+type Recorder struct {
+	inner tap.Monitor
+	w     *replay.Writer
+	rec   replay.Record
+}
+
+// NewRecorder tees copies for inner into a trace written to w. inner
+// may be nil to only record.
+func NewRecorder(inner tap.Monitor, w io.Writer) *Recorder {
+	return &Recorder{inner: inner, w: replay.NewWriter(w)}
+}
+
+// ProcessCopy implements tap.Monitor.
+func (r *Recorder) ProcessCopy(c tap.Copy) {
+	r.rec.FromCopy(c)
+	_ = r.w.Write(&r.rec) // first error sticks inside the writer; Flush reports it
+	if r.inner != nil {
+		r.inner.ProcessCopy(c)
+	}
+}
+
+// Count reports the records captured so far.
+func (r *Recorder) Count() uint64 { return r.w.Count() }
+
+// Flush drains the trace to the underlying writer and returns the
+// first error encountered over the recording's lifetime.
+func (r *Recorder) Flush() error { return r.w.Flush() }
