@@ -187,6 +187,37 @@ func TestAllocFreeBatchPath(t *testing.T) {
 	}
 }
 
+// TestAllocFreeGenerationRead pins the reconfiguration model's hot
+// half: pinning a tuning generation (Acquire/Value/Release — the work
+// every packet front does once) allocates nothing, with and without a
+// concurrent history of publishes behind it. Publishing allocates (a
+// new snapshot by design); reading never may.
+func TestAllocFreeGenerationRead(t *testing.T) {
+	dp := dataplane.New(dataplane.Config{})
+	st := dp.TuningStore()
+	var sink uint64
+	assertZeroAllocs(t, "tuning Acquire/Value/Release", func() {
+		g := st.Acquire()
+		sink += g.Value().LongFlowBytes
+		st.Release(g)
+	})
+	// A published successor must not change the read-side profile.
+	if err := dp.UpdateTuning(func(tn *dataplane.Tuning) error {
+		tn.LongFlowBytes = 2 << 20
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	assertZeroAllocs(t, "tuning read after publish", func() {
+		g := st.Acquire()
+		sink += g.Value().LongFlowBytes
+		st.Release(g)
+	})
+	if sink == 0 {
+		t.Fatal("generation reads returned no data")
+	}
+}
+
 // TestAllocFreeObsPrimitives pins the telemetry primitives themselves:
 // counter and gauge mutation, a histogram observation, and a trace-ring
 // append are all single atomic ops or in-place ring writes.

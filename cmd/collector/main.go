@@ -51,22 +51,13 @@ import (
 	"repro/internal/tcp"
 )
 
-// guardedCP serialises psconfig calls with the simulation stepper.
-type guardedCP struct {
+// engineGuard serialises engine stepping with the scrape/table paths
+// that still read engine-owned state (obs register scans, p4runtime).
+// psconfig commands no longer need it: ControlPlane.Update publishes
+// config generations lock-free, so the config channel can never stall
+// the simulation stepper (DESIGN.md §5.7).
+type engineGuard struct {
 	mu sync.Mutex
-	cp *controlplane.ControlPlane
-}
-
-func (g *guardedCP) SetRate(m controlplane.Metric, sps float64) error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.cp.SetRate(m, sps)
-}
-
-func (g *guardedCP) SetAlert(m controlplane.Metric, th, esc float64) error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.cp.SetAlert(m, th, esc)
 }
 
 func main() {
@@ -121,7 +112,7 @@ func main() {
 		Shards:        *shards,
 		ExtraSink:     sink,
 	})
-	guard := &guardedCP{cp: sys.ControlPlane}
+	guard := &engineGuard{}
 
 	// Self-telemetry (opt-in): counters, histograms and the shipper
 	// trace ring behind /metrics, /trace, expvar and pprof. Scrapes of
@@ -160,7 +151,7 @@ func main() {
 		os.Exit(1)
 	}
 	defer ln.Close()
-	go psconfig.ServeConfig(ln, guard)
+	go psconfig.ServeConfig(ln, sys.ControlPlane)
 	fmt.Fprintf(os.Stderr, "collector: config API on %s, running %d virtual seconds\n", ln.Addr(), *duration)
 
 	// The p4runtime endpoint: external tools (cmd/p4rt) read registers

@@ -125,6 +125,12 @@ func main() {
 		case "coexistence":
 			r := experiments.RunExtCoexistence(experiments.CoexistenceConfig{Scale: scale, Seed: *seed})
 			fmt.Println(r.Render())
+		case "reconfig":
+			r, err := experiments.RunReconfigUnderLoad(experiments.ReconfigConfig{Seed: *seed})
+			if err != nil {
+				return err
+			}
+			fmt.Println(r.Render())
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -132,7 +138,7 @@ func main() {
 	}
 
 	if len(targets) == 1 && targets[0] == "all" {
-		targets = []string{"table1", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "coexistence"}
+		targets = []string{"table1", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "coexistence", "reconfig"}
 	}
 	for _, name := range targets {
 		if err := run(name); err != nil {
@@ -159,5 +165,5 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: p4psonar run [-paper] [-shards N] [-out DIR] [-seed N] [-cpuprofile F] [-memprofile F] [-obs-addr ADDR] table1|fig9|fig10|fig11|fig12|fig13|fig14|coexistence|all`)
+	fmt.Fprintln(os.Stderr, `usage: p4psonar run [-paper] [-shards N] [-out DIR] [-seed N] [-cpuprofile F] [-memprofile F] [-obs-addr ADDR] table1|fig9|fig10|fig11|fig12|fig13|fig14|coexistence|reconfig|all`)
 }

@@ -4,9 +4,12 @@
 //
 // Usage:
 //
-//	psconfig config-P4 [--collector HOST:PORT] --metric M --samples_per_second N
-//	psconfig config-P4 [--collector HOST:PORT] --metric M --alert --threshold T --samples_per_second N
+//	psconfig config-P4 [--collector HOST:PORT] [--retries N] --metric M --samples_per_second N
+//	psconfig config-P4 [--collector HOST:PORT] [--retries N] --metric M --alert --threshold T --samples_per_second N
 //
+// Refused connections are retried with jittered exponential backoff,
+// --retries attempts in total (default 3); errors after a connection
+// is up are never retried, so a command cannot be double-applied.
 // Without --collector the command parses, validates and echoes the
 // configuration (dry run) — useful for checking Figure 6 syntax.
 package main
@@ -14,6 +17,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"strconv"
 	"time"
 
 	"repro/internal/psconfig"
@@ -26,21 +30,35 @@ func main() {
 	}
 	args := os.Args[2:]
 
-	// Extract --collector before handing the rest to the Figure 6
-	// parser.
+	// Extract --collector and --retries before handing the rest to the
+	// Figure 6 parser.
 	collector := ""
+	retries := 3
 	var rest []string
 	for i := 0; i < len(args); i++ {
-		if args[i] == "--collector" {
+		switch args[i] {
+		case "--collector":
 			if i+1 >= len(args) {
 				fmt.Fprintln(os.Stderr, "psconfig: --collector requires a value")
 				os.Exit(2)
 			}
 			collector = args[i+1]
 			i++
-			continue
+		case "--retries":
+			if i+1 >= len(args) {
+				fmt.Fprintln(os.Stderr, "psconfig: --retries requires a value")
+				os.Exit(2)
+			}
+			n, err := strconv.Atoi(args[i+1])
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "psconfig: invalid retries %q\n", args[i+1])
+				os.Exit(2)
+			}
+			retries = n
+			i++
+		default:
+			rest = append(rest, args[i])
 		}
-		rest = append(rest, args[i])
 	}
 
 	cmd, err := psconfig.ParseConfigP4(rest)
@@ -53,7 +71,7 @@ func main() {
 		fmt.Printf("parsed OK (dry run): %s\n", cmd)
 		return
 	}
-	if err := cmd.Send(collector, 5*time.Second); err != nil {
+	if err := cmd.SendWith(collector, psconfig.SendOptions{Timeout: 5 * time.Second, Attempts: retries}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

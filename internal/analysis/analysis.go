@@ -112,6 +112,7 @@ func Deep() []*Analyzer {
 		AtomicMixAnalyzer,
 		LockOrderAnalyzer,
 		DeterminismAnalyzer,
+		ConfigReadAnalyzer,
 	}
 }
 

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestConfigRead(t *testing.T) {
+	runFixture(t, "configread", "configread")
+}

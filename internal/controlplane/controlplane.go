@@ -2,10 +2,12 @@ package controlplane
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
 	"repro/internal/dataplane"
+	"repro/internal/genconfig"
 	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/simtime"
@@ -38,10 +40,88 @@ func rateToInterval(samplesPerSecond float64) simtime.Time {
 	return simtime.Time(float64(simtime.Second) / samplesPerSecond)
 }
 
+// MaxSamplesPerSecond caps runtime-configured reporting rates (base
+// and escalated). The bound exists so a config-P4 command that parses
+// can still fail validation inside the transactional mutation — and
+// because a multi-megahertz extraction ticker would starve the
+// simulated packet path it is meant to observe.
+const MaxSamplesPerSecond = 1e6
+
+// RuntimeConfig is the runtime-tunable slice of the control plane's
+// configuration: everything a config-P4 command can change while
+// packets flow. It is a pure value — a fixed-size array plus scalars,
+// no maps, slices or pointers — so copying one shares nothing, which
+// is what lets genconfig publish it as an immutable generation
+// (DESIGN.md §5.7).
+type RuntimeConfig struct {
+	// Metrics holds the per-metric schedules, indexed by MetricIndex.
+	Metrics [NumMetrics]MetricConfig
+	// CMSResetInterval is the long-flow sketch decay period.
+	CMSResetInterval simtime.Time
+}
+
+// MetricConfig returns the schedule slot for m (the zero MetricConfig
+// for unknown metrics).
+func (rc RuntimeConfig) MetricConfig(m Metric) MetricConfig {
+	if i := MetricIndex(m); i >= 0 {
+		return rc.Metrics[i]
+	}
+	return MetricConfig{}
+}
+
+// SetRate validates and stages a new base sampling rate for m. It
+// mutates only the receiver — a scratch successor generation — so a
+// validation error leaves the published configuration untouched.
+func (rc *RuntimeConfig) SetRate(m Metric, samplesPerSecond float64) error {
+	i := MetricIndex(m)
+	if i < 0 {
+		return fmt.Errorf("controlplane: unknown metric %q", m)
+	}
+	if err := validRate("samples_per_second", samplesPerSecond); err != nil {
+		return err
+	}
+	rc.Metrics[i].SamplesPerSecond = samplesPerSecond
+	return nil
+}
+
+// SetAlert validates and stages an alert threshold and escalated rate
+// for m, with the same scratch-mutation contract as SetRate.
+func (rc *RuntimeConfig) SetAlert(m Metric, threshold, escalatedSamplesPerSecond float64) error {
+	i := MetricIndex(m)
+	if i < 0 {
+		return fmt.Errorf("controlplane: unknown metric %q", m)
+	}
+	if threshold <= 0 || math.IsInf(threshold, 0) || math.IsNaN(threshold) {
+		return fmt.Errorf("controlplane: invalid threshold %g", threshold)
+	}
+	if escalatedSamplesPerSecond != 0 {
+		if err := validRate("escalated rate", escalatedSamplesPerSecond); err != nil {
+			return err
+		}
+	}
+	rc.Metrics[i].AlertThreshold = threshold
+	rc.Metrics[i].AlertSamplesPerSecond = escalatedSamplesPerSecond
+	return nil
+}
+
+func validRate(what string, samplesPerSecond float64) error {
+	if samplesPerSecond <= 0 || math.IsNaN(samplesPerSecond) {
+		return fmt.Errorf("controlplane: invalid %s %g", what, samplesPerSecond)
+	}
+	if samplesPerSecond > MaxSamplesPerSecond {
+		return fmt.Errorf("controlplane: %s %g exceeds the %g/s cap", what, samplesPerSecond, float64(MaxSamplesPerSecond))
+	}
+	return nil
+}
+
 // Config assembles the control plane's static parameters.
 type Config struct {
 	// Metrics holds the per-metric schedules; missing metrics default
-	// to 1 sample/second with no alerting.
+	// to 1 sample/second with no alerting. It seeds generation 0 of
+	// the runtime config — after New, the live schedules are read from
+	// the generation store, never from this map.
+	//
+	// p4:gen-seed
 	Metrics map[Metric]MetricConfig
 	// LinkCapacityBps is the monitored bottleneck capacity, needed for
 	// utilisation and queue-occupancy computation.
@@ -58,10 +138,16 @@ type Config struct {
 	// 0.1% of link capacity.
 	FairnessFloorBps float64
 	// CMSResetInterval periodically clears the long-flow sketch.
-	// Default 60 s.
+	// Default 60 s. Like Metrics, it only seeds generation 0; the CMS
+	// ticker reads the live value from the generation store.
+	//
+	// p4:gen-seed
 	CMSResetInterval simtime.Time
 }
 
+// withDefaults fills the unset seed fields.
+//
+// p4:gen-init
 func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = map[Metric]MetricConfig{}
@@ -120,12 +206,21 @@ type flowEntry struct {
 }
 
 // ControlPlane drives extraction and reporting. It is single-threaded
-// on the simulation engine, like every simulated component.
+// on the simulation engine, like every simulated component — except
+// Update/SetRate/SetAlert, which publish runtime-config generations
+// through a lock-free store and are safe to call from any goroutine
+// while the engine runs (the psconfig wire server calls them from
+// connection handlers).
 type ControlPlane struct {
 	cfg    Config
 	engine *simtime.Engine
 	dp     dataplane.Plane
 	sink   Sink
+
+	// runtime is the generation store for everything config-P4 can
+	// change at run time. Each extraction tick pins exactly one
+	// generation and reads every tunable from it (see extract).
+	runtime *genconfig.Store[RuntimeConfig]
 
 	flows   map[dataplane.FlowID]*flowEntry
 	tickers map[Metric]*simtime.Ticker
@@ -151,12 +246,21 @@ type ControlPlane struct {
 // New wires a control plane to a data plane — a single *DataPlane or
 // the sharded *Pipes front-end, both of which implement
 // dataplane.Plane — and a report sink. Call Start to begin extraction.
+//
+// p4:gen-init
 func New(e *simtime.Engine, dp dataplane.Plane, sink Sink, cfg Config) *ControlPlane {
+	cfg = cfg.withDefaults()
+	var rc RuntimeConfig
+	for _, m := range AllMetrics() {
+		rc.Metrics[MetricIndex(m)] = cfg.Metrics[m]
+	}
+	rc.CMSResetInterval = cfg.CMSResetInterval
 	cp := &ControlPlane{
-		cfg:       cfg.withDefaults(),
+		cfg:       cfg,
 		engine:    e,
 		dp:        dp,
 		sink:      sink,
+		runtime:   genconfig.NewStore(rc),
 		flows:     make(map[dataplane.FlowID]*flowEntry),
 		tickers:   make(map[Metric]*simtime.Ticker),
 		escalated: make(map[Metric]bool),
@@ -167,54 +271,81 @@ func New(e *simtime.Engine, dp dataplane.Plane, sink Sink, cfg Config) *ControlP
 }
 
 // Start launches the per-metric extraction tickers, the flow-lifecycle
-// sweep and the periodic CMS reset.
+// sweep and the periodic CMS reset. Initial intervals come from
+// generation 0 of the runtime config.
 func (cp *ControlPlane) Start() {
 	if cp.started {
 		return
 	}
 	cp.started = true
+	rc := cp.runtime.Current()
 	for _, m := range AllMetrics() {
 		m := m
-		iv := cp.cfg.Metrics[m].Interval()
+		iv := rc.MetricConfig(m).Interval()
 		cp.tickers[m] = simtime.NewTicker(cp.engine, cp.engine.Now()+iv, iv, func(now simtime.Time) {
 			cp.extract(m, now)
 		})
 	}
 	simtime.NewTicker(cp.engine, cp.engine.Now()+simtime.Second, simtime.Second, cp.sweepTerminated)
-	simtime.NewTicker(cp.engine, cp.engine.Now()+cp.cfg.CMSResetInterval, cp.cfg.CMSResetInterval,
-		func(simtime.Time) { cp.dp.ClearCMS() })
+	// The CMS ticker re-arms itself from the live generation after
+	// each reset, so config-P4 changes to the decay period converge at
+	// the next reset without touching the engine off-thread.
+	var cmsTicker *simtime.Ticker
+	cmsTicker = simtime.NewTicker(cp.engine, cp.engine.Now()+rc.CMSResetInterval, rc.CMSResetInterval,
+		func(simtime.Time) {
+			cp.dp.ClearCMS()
+			if iv := cp.runtime.Current().CMSResetInterval; iv > 0 && iv != cmsTicker.Interval() {
+				cmsTicker.SetInterval(iv)
+			}
+		})
+}
+
+// Update transactionally publishes a runtime-config change: mut runs
+// against a scratch copy of the current generation, and either the
+// whole mutation is installed as one new generation (a single CAS) or
+// — on error — nothing changes. Safe to call from any goroutine while
+// the engine runs; concurrent updates retry against each other's
+// results. Tickers converge on the new generation at their next tick
+// (and at the 1 Hz sweep), never mid-quantum.
+func (cp *ControlPlane) Update(mut func(*RuntimeConfig) error) error {
+	_, err := cp.runtime.Publish(func(cur RuntimeConfig) (RuntimeConfig, error) {
+		next := cur
+		if err := mut(&next); err != nil {
+			return RuntimeConfig{}, err
+		}
+		return next, nil
+	})
+	return err
 }
 
 // SetRate reconfigures a metric's base sampling rate at run time — the
 // psconfig config-P4 --samples_per_second path (Figure 6).
 func (cp *ControlPlane) SetRate(m Metric, samplesPerSecond float64) error {
-	if !ValidMetric(string(m)) {
-		return fmt.Errorf("controlplane: unknown metric %q", m)
-	}
-	mc := cp.cfg.Metrics[m]
-	mc.SamplesPerSecond = samplesPerSecond
-	cp.cfg.Metrics[m] = mc
-	if t, ok := cp.tickers[m]; ok && !cp.escalated[m] {
-		t.SetInterval(mc.Interval())
-	}
-	return nil
+	return cp.Update(func(rc *RuntimeConfig) error { return rc.SetRate(m, samplesPerSecond) })
 }
 
 // SetAlert configures a metric's alert threshold and escalated rate —
 // the psconfig config-P4 --alert --threshold path (Figure 6).
 func (cp *ControlPlane) SetAlert(m Metric, threshold, escalatedSamplesPerSecond float64) error {
-	if !ValidMetric(string(m)) {
-		return fmt.Errorf("controlplane: unknown metric %q", m)
-	}
-	mc := cp.cfg.Metrics[m]
-	mc.AlertThreshold = threshold
-	mc.AlertSamplesPerSecond = escalatedSamplesPerSecond
-	cp.cfg.Metrics[m] = mc
-	return nil
+	return cp.Update(func(rc *RuntimeConfig) error {
+		return rc.SetAlert(m, threshold, escalatedSamplesPerSecond)
+	})
 }
 
-// MetricConfigFor returns the live configuration of one metric.
-func (cp *ControlPlane) MetricConfigFor(m Metric) MetricConfig { return cp.cfg.Metrics[m] }
+// MetricConfigFor returns the live configuration of one metric (from
+// the current generation).
+func (cp *ControlPlane) MetricConfigFor(m Metric) MetricConfig {
+	return cp.runtime.Current().MetricConfig(m)
+}
+
+// RuntimeSnapshot returns a copy of the live runtime-config
+// generation.
+func (cp *ControlPlane) RuntimeSnapshot() RuntimeConfig { return cp.runtime.Current() }
+
+// ConfigGenerations returns the runtime-config store's generation
+// accounting: Outstanding == 0 proves every superseded generation has
+// drained out of the extraction path.
+func (cp *ControlPlane) ConfigGenerations() genconfig.Counters { return cp.runtime.Counters() }
 
 // ActiveFlowCount returns the number of flows currently tracked.
 func (cp *ControlPlane) ActiveFlowCount() int { return len(cp.flows) }
@@ -283,6 +414,13 @@ func (cp *ControlPlane) extract(m Metric, now simtime.Time) {
 	// is replayed and pending long-flow announcements land in cp.flows
 	// before this tick iterates the directory (no-op on one pipe).
 	cp.dp.Flush()
+	// One generation read per tick: the threshold, escalated rate and
+	// base interval this round uses all come from one pinned immutable
+	// snapshot, so a concurrent config-P4 publish is either entirely
+	// visible to this tick or entirely invisible — never half-applied.
+	gen := cp.runtime.Acquire()
+	defer cp.runtime.Release(gen)
+	mc := gen.Value().MetricConfig(m)
 	if cp.obs != nil {
 		defer cp.observeExtract(time.Now(), len(cp.flows))
 	}
@@ -366,7 +504,28 @@ func (cp *ControlPlane) extract(m Metric, now simtime.Time) {
 		cp.classifyLimitations(now)
 	}
 
-	cp.applyAlertPolicy(m, maxValue, now)
+	cp.applyAlertPolicy(m, mc, maxValue, now)
+	cp.retune(m, mc)
+}
+
+// retune re-arms a metric's extraction ticker to the interval implied
+// by the generation this tick pinned: the escalated rate while the
+// alert policy holds the metric escalated, the base rate otherwise.
+// The SetInterval call is conditional so an unchanged generation (a
+// no-op config storm) leaves the tick schedule — and therefore the
+// witness output — byte-identical.
+func (cp *ControlPlane) retune(m Metric, mc MetricConfig) {
+	t := cp.tickers[m]
+	if t == nil {
+		return
+	}
+	want := mc.Interval()
+	if cp.escalated[m] && mc.AlertSamplesPerSecond > 0 {
+		want = rateToInterval(mc.AlertSamplesPerSecond)
+	}
+	if t.Interval() != want {
+		t.SetInterval(want)
+	}
 }
 
 // emitAggregate publishes the §5.3 control-plane statistics: link
@@ -446,13 +605,18 @@ func (cp *ControlPlane) classifyLimitations(now simtime.Time) {
 
 // applyAlertPolicy raises an alert and escalates the sampling rate when
 // the metric's maximum observed value crosses the configured threshold,
-// and de-escalates (with 20% hysteresis) when it falls back.
-func (cp *ControlPlane) applyAlertPolicy(m Metric, maxValue float64, now simtime.Time) {
-	mc := cp.cfg.Metrics[m]
+// and de-escalates (with 20% hysteresis) when it falls back. mc comes
+// from the generation the calling tick pinned — threshold and
+// escalated rate are always a coherent pair — and the interval change
+// itself happens in retune, from the same snapshot.
+func (cp *ControlPlane) applyAlertPolicy(m Metric, mc MetricConfig, maxValue float64, now simtime.Time) {
 	if mc.AlertThreshold <= 0 {
+		// Alerting disabled (possibly by the generation just read):
+		// any standing escalation ends and retune falls back to the
+		// base rate.
+		cp.escalated[m] = false
 		return
 	}
-	t := cp.tickers[m]
 	switch {
 	case maxValue > mc.AlertThreshold && !cp.escalated[m]:
 		cp.escalated[m] = true
@@ -466,14 +630,8 @@ func (cp *ControlPlane) applyAlertPolicy(m Metric, maxValue float64, now simtime
 		}
 		cp.AlertLog = append(cp.AlertLog, alert)
 		cp.sink.Emit(alert)
-		if mc.AlertSamplesPerSecond > 0 && t != nil {
-			t.SetInterval(rateToInterval(mc.AlertSamplesPerSecond))
-		}
 	case cp.escalated[m] && maxValue < 0.8*mc.AlertThreshold:
 		cp.escalated[m] = false
-		if t != nil {
-			t.SetInterval(mc.Interval())
-		}
 	}
 }
 
@@ -481,6 +639,15 @@ func (cp *ControlPlane) applyAlertPolicy(m Metric, maxValue float64, now simtime
 // terminated-long-flow report of §3.3.2 and releasing the registers.
 func (cp *ControlPlane) sweepTerminated(now simtime.Time) {
 	cp.dp.Flush()
+	// The 1 Hz sweep is also the convergence backstop for freshly
+	// published generations: a metric ticking slowly (say every 60 s)
+	// would otherwise not notice a rate change until its next tick.
+	// One generation read covers all four retunes — the intervals a
+	// sweep installs are always a coherent set.
+	rc := cp.runtime.Current()
+	for _, m := range AllMetrics() {
+		cp.retune(m, rc.MetricConfig(m))
+	}
 	for _, f := range cp.sortedFlows() {
 		snap := cp.dp.ReadFlow(f.id, f.revID)
 		idle := snap.LastSeen > 0 && now-snap.LastSeen > cp.cfg.IdleTimeout

@@ -167,19 +167,77 @@ func TestAlertDeescalation(t *testing.T) {
 
 func TestSetRateReconfiguresTicker(t *testing.T) {
 	sink := &MemorySink{}
-	_, _, cp := newCP(sink, Config{LinkCapacityBps: 1e9})
+	e, _, cp := newCP(sink, Config{LinkCapacityBps: 1e9})
 	cp.Start()
 	if err := cp.SetRate(MetricRTT, 4); err != nil {
 		t.Fatal(err)
 	}
+	// The publish is immediate; the ticker re-arms when the engine
+	// next reaches a tick (generation-swapped config converges at tick
+	// boundaries, never mid-quantum). The first RTT tick at t=1s reads
+	// the new generation and retunes to 250ms.
+	e.Run(1100 * simtime.Millisecond)
 	if iv := cp.tickers[MetricRTT].Interval(); iv != 250*simtime.Millisecond {
 		t.Fatalf("interval %v, want 250ms", iv)
+	}
+	if got := cp.MetricConfigFor(MetricRTT).SamplesPerSecond; got != 4 {
+		t.Fatalf("live rate %g, want 4", got)
 	}
 	if err := cp.SetRate("bogus", 1); err == nil {
 		t.Fatal("bogus metric must error")
 	}
 	if err := cp.SetAlert("bogus", 1, 1); err == nil {
 		t.Fatal("bogus metric must error")
+	}
+	// A failed update publishes nothing.
+	if c := cp.ConfigGenerations(); c.Published != 1 {
+		t.Fatalf("published=%d after one valid + two invalid updates", c.Published)
+	}
+}
+
+func TestSweepConvergesSlowTicker(t *testing.T) {
+	// A metric sampling every 10 s would not tick for ages; the 1 Hz
+	// sweep must still converge it onto a freshly published rate
+	// within about a second.
+	sink := &MemorySink{}
+	e, _, cp := newCP(sink, Config{
+		LinkCapacityBps: 1e9,
+		Metrics:         map[Metric]MetricConfig{MetricRTT: {SamplesPerSecond: 0.1}},
+	})
+	cp.Start()
+	if iv := cp.tickers[MetricRTT].Interval(); iv != 10*simtime.Second {
+		t.Fatalf("initial interval %v", iv)
+	}
+	if err := cp.SetRate(MetricRTT, 4); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(1100 * simtime.Millisecond) // sweep at t=1s retunes, long before t=10s
+	if iv := cp.tickers[MetricRTT].Interval(); iv != 250*simtime.Millisecond {
+		t.Fatalf("interval %v after sweep, want 250ms", iv)
+	}
+}
+
+func TestUpdateTransactional(t *testing.T) {
+	sink := &MemorySink{}
+	_, _, cp := newCP(sink, Config{LinkCapacityBps: 1e9})
+	before := cp.RuntimeSnapshot()
+	err := cp.Update(func(rc *RuntimeConfig) error {
+		if err := rc.SetRate(MetricThroughput, 50); err != nil {
+			return err
+		}
+		if err := rc.SetRate(MetricRTT, 50); err != nil {
+			return err
+		}
+		return rc.SetRate(MetricPacketLoss, 2e9) // over the cap: whole txn aborts
+	})
+	if err == nil {
+		t.Fatal("over-cap rate must error")
+	}
+	if got := cp.RuntimeSnapshot(); got != before {
+		t.Fatalf("config changed on failed transaction:\n got %+v\nwant %+v", got, before)
+	}
+	if c := cp.ConfigGenerations(); c.Published != 0 {
+		t.Fatalf("published=%d after failed transaction", c.Published)
 	}
 }
 

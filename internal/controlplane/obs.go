@@ -40,6 +40,18 @@ func (cp *ControlPlane) RegisterObs(r *obs.Registry) {
 	}
 	r.NewGaugeFunc("p4_controlplane_active_flows", "Long flows currently tracked in the directory.",
 		func() uint64 { return uint64(len(cp.flows)) })
+	// Runtime-config generation accounting (DESIGN.md §5.7). These
+	// read lock-free atomics, so scrapes need no Sync with the engine:
+	// outstanding == 0 at any scrape proves every superseded
+	// generation has drained out of the extraction path.
+	r.NewGaugeFunc("p4_config_generation_seq", "Sequence number of the live runtime-config generation.",
+		func() uint64 { return cp.runtime.Counters().Seq })
+	r.NewGaugeFunc("p4_config_generations_published_total", "Runtime-config generations published by config-P4 updates.",
+		func() uint64 { return cp.runtime.Counters().Published })
+	r.NewGaugeFunc("p4_config_generations_retired_total", "Superseded runtime-config generations fully drained.",
+		func() uint64 { return cp.runtime.Counters().Retired })
+	r.NewGaugeFunc("p4_config_generations_outstanding", "Superseded runtime-config generations a reader may still pin.",
+		func() uint64 { return cp.runtime.Counters().Outstanding })
 	cp.obs = o
 	cp.sink = &obsSink{next: cp.sink, o: o}
 }

@@ -32,6 +32,29 @@ func AllMetrics() []Metric {
 	return []Metric{MetricThroughput, MetricPacketLoss, MetricRTT, MetricQueueOccupancy}
 }
 
+// NumMetrics is the number of configurable metrics — the paper's
+// program derives exactly four (Figure 5a), so the runtime-config
+// generation can hold them in a fixed-size array with pure value
+// semantics (see RuntimeConfig).
+const NumMetrics = 4
+
+// MetricIndex maps a metric to its dense index in [0, NumMetrics),
+// the slot its schedule occupies inside a RuntimeConfig generation.
+// Unknown metrics map to -1.
+func MetricIndex(m Metric) int {
+	switch m {
+	case MetricThroughput:
+		return 0
+	case MetricPacketLoss:
+		return 1
+	case MetricRTT:
+		return 2
+	case MetricQueueOccupancy:
+		return 3
+	}
+	return -1
+}
+
 // ValidMetric reports whether s names a configurable metric.
 func ValidMetric(s string) bool {
 	switch Metric(s) {

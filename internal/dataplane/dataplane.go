@@ -12,6 +12,7 @@ import (
 	"net/netip"
 	"sort"
 
+	"repro/internal/genconfig"
 	"repro/internal/packet"
 	"repro/internal/simtime"
 	"repro/internal/tap"
@@ -33,7 +34,8 @@ type Config struct {
 	// long-flow detection.
 	CMSWidth, CMSDepth int
 	// LongFlowBytes is the byte volume at which a flow is declared
-	// "long" and announced to the control plane.
+	// "long" and announced to the control plane. Seed value only: the
+	// live threshold is the Tuning generation's copy (p4:gen-seed).
 	LongFlowBytes uint64
 	// Microburst detection (§3.3.3). A microburst is a *sudden* queue
 	// excursion, so the detector compares each packet's queuing delay
@@ -42,19 +44,27 @@ type Config struct {
 	// BurstFloor; it ends when the delay falls back below
 	// BurstEndFactor x baseline (or under half the floor). The adaptive
 	// baseline keeps slow phenomena — CUBIC's standing queue, gradual
-	// ramps — from registering as bursts.
-	BurstFactor    float64
+	// ramps — from registering as bursts. Seed values only; the live
+	// detector reads the Tuning generation (p4:gen-seed).
+	BurstFactor float64
+	// BurstEndFactor ends a burst (see BurstFactor). Seed value only
+	// (p4:gen-seed).
 	BurstEndFactor float64
-	BurstFloor     simtime.Time
+	// BurstFloor is the absolute delay floor below which no excursion
+	// counts as a burst (see BurstFactor). Seed value only
+	// (p4:gen-seed).
+	BurstFloor simtime.Time
 	// BurstBaselineTau is the baseline's adaptation time constant. The
 	// baseline must adapt by elapsed time, not by packet count — a
 	// back-to-back packet train ramps the queue within microseconds,
 	// and a per-packet average would chase the ramp and never see it
-	// as sudden.
+	// as sudden. Seed value only (p4:gen-seed).
 	BurstBaselineTau simtime.Time
 }
 
 // WithDefaults fills unset fields with the paper-faithful defaults.
+//
+// p4:gen-init
 func (c Config) WithDefaults() Config {
 	if c.FlowTableSize <= 0 {
 		c.FlowTableSize = 2048
@@ -146,6 +156,15 @@ const flightNoSample = ^uint64(0)
 // through the switch's programmable parser and match-action stages.
 type DataPlane struct {
 	cfg Config
+
+	// tuning publishes the runtime-tunable thresholds as immutable
+	// generations (DESIGN.md §5.7); Pipes shares one store across all
+	// shards. tun is the generation snapshot the current batch pinned —
+	// a plain field, single-writer by the pipe contract, loaded once at
+	// each batch front so every packet in the batch sees one coherent
+	// parameter set.
+	tuning *genconfig.Store[Tuning]
+	tun    Tuning
 
 	// Per-flow register arrays, indexed by hash(5-tuple) % FlowTableSize.
 	bytesReg   *Register // cumulative IPv4 total-length bytes
@@ -259,12 +278,18 @@ func (d *DataPlane) flowIDs(k FlowKey) (FlowID, FlowID) {
 	return slot.fwd, slot.rev
 }
 
-// New builds a pipeline with the given configuration.
+// New builds a pipeline with the given configuration. The tunable
+// subset of cfg seeds generation 0 of the Tuning store; from then on
+// the live thresholds are whatever UpdateTuning last published.
+//
+// p4:gen-init
 func New(cfg Config) *DataPlane {
 	cfg = cfg.WithDefaults()
 	n := cfg.FlowTableSize
 	d := &DataPlane{
-		cfg: cfg,
+		cfg:    cfg,
+		tuning: genconfig.NewStore(TuningFrom(cfg)),
+		tun:    TuningFrom(cfg),
 		// Widths mirror the P4 program: Tofino's clock (and therefore
 		// every timestamp and timestamp difference) is 48-bit, flag
 		// registers are single bits, the queue signature packs a 32-bit
@@ -389,7 +414,12 @@ func (d *DataPlane) ProcessCopy(c tap.Copy) {
 	// The monitor table may be reprogrammed between two per-packet
 	// calls; only a batch pins it (see batchState).
 	d.batch.monOK = false
+	// A batch of one still pins exactly one tuning generation: the
+	// packet cannot see a half-applied reconfiguration.
+	g := d.tuning.Acquire()
+	d.tun = g.Value()
 	d.processView(&v)
+	d.tuning.Release(g)
 }
 
 // batchState is the state ProcessFront hoists out of the batch inner
@@ -424,6 +454,12 @@ func (d *DataPlane) ProcessFront(f *Front) {
 		return
 	}
 	d.batch.monOK = false
+	// Pin one tuning generation for the whole batch: every view in the
+	// front sees the same thresholds, and the Release below is what
+	// lets a superseded generation retire (the drain proof the
+	// reconfigure-under-load experiment asserts on).
+	g := d.tuning.Acquire()
+	d.tun = g.Value()
 	var ingress, egress uint64
 	for k := range b {
 		if b[k].point == tap.Ingress {
@@ -440,6 +476,7 @@ func (d *DataPlane) ProcessFront(f *Front) {
 		o.ingressCopies.Add(ingress)
 		o.egressCopies.Add(egress)
 	}
+	d.tuning.Release(g)
 }
 
 // processView runs one parsed copy through the match-action stages.
@@ -547,7 +584,7 @@ func (d *DataPlane) processData(v *view, key FlowKey, id, revID FlowID, idx uint
 
 	// Long-flow detection via the count-min sketch.
 	est := d.cms.UpdateKey(key, uint64(v.totalLen))
-	if est >= d.cfg.LongFlowBytes && d.announced.Read(idx) == 0 {
+	if est >= d.tun.LongFlowBytes && d.announced.Read(idx) == 0 {
 		d.announced.Write(idx, 1)
 		if d.OnLongFlow != nil {
 			d.OnLongFlow(LongFlowEvent{
@@ -689,7 +726,7 @@ func (d *DataPlane) detectMicroburst(qdelay simtime.Time, now simtime.Time) {
 		return
 	}
 	if !d.inBurst {
-		if q > d.cfg.BurstFactor*d.qBaseline && qdelay >= d.cfg.BurstFloor {
+		if q > d.tun.BurstFactor*d.qBaseline && qdelay >= d.tun.BurstFloor {
 			d.inBurst = true
 			d.burstStart = now - qdelay // the burst began as the queue built
 			if d.burstStart < 0 {
@@ -711,7 +748,7 @@ func (d *DataPlane) detectMicroburst(qdelay simtime.Time, now simtime.Time) {
 	// congestion episode self-terminates instead of reporting as one
 	// endless microburst.
 	d.updateQBaseline(q, now, 0.25)
-	if q < d.cfg.BurstEndFactor*d.qBaseline || qdelay < d.cfg.BurstFloor/2 {
+	if q < d.tun.BurstEndFactor*d.qBaseline || qdelay < d.tun.BurstFloor/2 {
 		d.inBurst = false
 		d.Stats.Microbursts++
 		if o := d.obs; o != nil {
@@ -737,7 +774,7 @@ func (d *DataPlane) detectMicroburst(qdelay simtime.Time, now simtime.Time) {
 // p4:hotpath
 func (d *DataPlane) updateQBaseline(q float64, now simtime.Time, scale float64) {
 	dt := float64(now - d.qBaseTs)
-	alpha := dt / float64(d.cfg.BurstBaselineTau) * scale
+	alpha := dt / float64(d.tun.BurstBaselineTau) * scale
 	if alpha > 1 {
 		alpha = 1
 	}

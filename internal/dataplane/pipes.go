@@ -88,6 +88,14 @@ func NewPipes(cfg Config, shards int) *Pipes {
 	for i := range p.shards {
 		p.shards[i] = New(cfg)
 	}
+	// All shards share one tuning store: a published generation is
+	// visible to every pipe at its next batch front, exactly as the
+	// control plane programs all of Tofino's pipes with one write.
+	shared := p.shards[0].tuning
+	for _, d := range p.shards[1:] {
+		d.tuning = shared
+		d.tun = shared.Current()
+	}
 	if shards == 1 {
 		d := p.shards[0]
 		d.OnLongFlow = func(ev LongFlowEvent) {

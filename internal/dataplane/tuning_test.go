@@ -1,0 +1,145 @@
+package dataplane
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestTuningFromConfigDefaults(t *testing.T) {
+	d := New(Config{})
+	tun := d.CurrentTuning()
+	if tun.LongFlowBytes != 1<<20 || tun.BurstFactor != 4 ||
+		tun.BurstEndFactor != 1.5 || tun.BurstFloor != simtime.Millisecond ||
+		tun.BurstBaselineTau != 50*simtime.Millisecond {
+		t.Fatalf("generation 0 does not match defaults: %+v", tun)
+	}
+	if err := tun.Validate(); err != nil {
+		t.Fatalf("default tuning must validate: %v", err)
+	}
+}
+
+func TestUpdateTuningTransactional(t *testing.T) {
+	d := New(Config{})
+	before := d.CurrentTuning()
+
+	// A mutation that sets a valid field and then an invalid one must
+	// publish nothing at all.
+	err := d.UpdateTuning(func(tn *Tuning) error {
+		tn.LongFlowBytes = 5000
+		tn.BurstFactor = 0.5 // invalid: must exceed 1
+		return nil
+	})
+	if err == nil {
+		t.Fatal("invalid tuning must be rejected")
+	}
+	if d.CurrentTuning() != before {
+		t.Fatalf("failed update changed the live tuning: %+v", d.CurrentTuning())
+	}
+	if c := d.TuningGenerations(); c.Published != 0 {
+		t.Fatalf("failed update published a generation: %+v", c)
+	}
+
+	// A mutation that errors itself publishes nothing either.
+	boom := fmt.Errorf("boom")
+	if err := d.UpdateTuning(func(tn *Tuning) error { tn.LongFlowBytes = 1; return boom }); err != boom {
+		t.Fatalf("mutation error not surfaced: %v", err)
+	}
+	if d.CurrentTuning() != before {
+		t.Fatal("erroring mutation changed the live tuning")
+	}
+
+	if err := d.UpdateTuning(func(tn *Tuning) error { tn.LongFlowBytes = 5000; return nil }); err != nil {
+		t.Fatalf("valid update failed: %v", err)
+	}
+	if got := d.CurrentTuning().LongFlowBytes; got != 5000 {
+		t.Fatalf("LongFlowBytes=%d after update", got)
+	}
+	if c := d.TuningGenerations(); c.Published != 1 || c.Outstanding != 0 {
+		t.Fatalf("counters after one update: %+v", c)
+	}
+}
+
+func TestTuningValidate(t *testing.T) {
+	base := TuningFrom(Config{}.WithDefaults())
+	cases := []struct {
+		name string
+		mut  func(*Tuning)
+	}{
+		{"zero long-flow", func(tn *Tuning) { tn.LongFlowBytes = 0 }},
+		{"factor at 1", func(tn *Tuning) { tn.BurstFactor = 1 }},
+		{"end factor above factor", func(tn *Tuning) { tn.BurstEndFactor = tn.BurstFactor + 1 }},
+		{"zero end factor", func(tn *Tuning) { tn.BurstEndFactor = 0 }},
+		{"zero floor", func(tn *Tuning) { tn.BurstFloor = 0 }},
+		{"zero tau", func(tn *Tuning) { tn.BurstBaselineTau = 0 }},
+	}
+	for _, tc := range cases {
+		tn := base
+		tc.mut(&tn)
+		if tn.Validate() == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tn)
+		}
+	}
+}
+
+func TestUpdateTuningChangesLongFlowThreshold(t *testing.T) {
+	// Lowering the long-flow threshold at runtime must make the very
+	// next packet batch announce flows the old generation ignored.
+	d := New(Config{})
+	var events []LongFlowEvent
+	d.OnLongFlow = func(ev LongFlowEvent) { events = append(events, ev) }
+	ft := flow()
+	d.ProcessCopy(ingress(dataPkt(ft, 1, 1400, 1), 10))
+	if len(events) != 0 {
+		t.Fatal("1.4 kB must not trip the 1 MB default threshold")
+	}
+	if err := d.UpdateTuning(func(tn *Tuning) error { tn.LongFlowBytes = 2000; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	d.ProcessCopy(ingress(dataPkt(ft, 1401, 1400, 2), 20))
+	if len(events) != 1 {
+		t.Fatalf("new 2 kB threshold not applied: %d announcements", len(events))
+	}
+	if c := d.TuningGenerations(); c.Outstanding != 0 {
+		t.Fatalf("superseded generation never drained: %+v", c)
+	}
+}
+
+func TestPipesShareOneTuningStore(t *testing.T) {
+	p := NewPipes(Config{}, 4)
+	if err := p.UpdateTuning(func(tn *Tuning) error { tn.LongFlowBytes = 4096; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range p.shards {
+		if got := d.CurrentTuning().LongFlowBytes; got != 4096 {
+			t.Fatalf("shard %d sees LongFlowBytes=%d", i, got)
+		}
+		if d.tuning != p.shards[0].tuning {
+			t.Fatalf("shard %d has a private tuning store", i)
+		}
+	}
+	if c := p.TuningGenerations(); c.Published != 1 {
+		t.Fatalf("counters: %+v", c)
+	}
+}
+
+func TestProcessFrontPinsOneGeneration(t *testing.T) {
+	// While a front is mid-flight the pinned generation must be
+	// counted outstanding; after the batch it must retire.
+	d := New(Config{})
+	g := d.TuningStore().Acquire() // simulate an in-flight batch
+	if err := d.UpdateTuning(func(tn *Tuning) error { tn.LongFlowBytes = 9000; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if c := d.TuningGenerations(); c.Outstanding != 1 {
+		t.Fatalf("pinned superseded generation not outstanding: %+v", c)
+	}
+	if g.Value().LongFlowBytes == 9000 {
+		t.Fatal("pinned snapshot must keep the old generation's values")
+	}
+	d.TuningStore().Release(g)
+	if c := d.TuningGenerations(); c.Outstanding != 0 {
+		t.Fatalf("generation did not retire on release: %+v", c)
+	}
+}

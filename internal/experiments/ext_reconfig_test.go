@@ -1,0 +1,62 @@
+package experiments
+
+import "testing"
+
+// TestReconfigUnderLoad runs the reconfiguration harness at reduced
+// scale: a tuning storm against a live replay stream, a wire-channel
+// storm against the witness, and the generation-boundary escalation
+// check. The name matches the chaos CI job's -run pattern.
+func TestReconfigUnderLoad(t *testing.T) {
+	res, err := RunReconfigUnderLoad(ReconfigConfig{
+		Packets:            40_000,
+		Writers:            3,
+		PublishesPerWriter: 30,
+		Observers:          3,
+		StormCommands:      60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Render())
+
+	if res.PacketsProcessed != res.PacketsOffered {
+		t.Errorf("packet path dropped records under reconfiguration: %d/%d",
+			res.PacketsProcessed, res.PacketsOffered)
+	}
+	if res.TornReads != 0 {
+		t.Errorf("observers saw %d torn tuning reads", res.TornReads)
+	}
+	if res.Tuning.Outstanding != 0 {
+		t.Errorf("tuning generations not drained: %+v", res.Tuning)
+	}
+	if res.Tuning.Published != res.TuningAccepted {
+		t.Errorf("published %d generations but %d accepted updates", res.Tuning.Published, res.TuningAccepted)
+	}
+	if res.TuningRejected == 0 {
+		t.Error("storm never exercised a rejected tuning update")
+	}
+	if !res.WitnessIdentical {
+		t.Errorf("witness diverged under a no-op config storm (%d reports)", res.WitnessReports)
+	}
+	if res.StormAccepted == 0 || res.StormRejected == 0 || res.StormFaulted == 0 || res.StormMalformed == 0 {
+		t.Errorf("storm missed a command class: %d ok / %d rejected / %d faulted / %d malformed",
+			res.StormAccepted, res.StormRejected, res.StormFaulted, res.StormMalformed)
+	}
+	if res.StormSeqDelta != res.StormAccepted {
+		t.Errorf("generation seq advanced %d for %d accepted commands", res.StormSeqDelta, res.StormAccepted)
+	}
+	if res.Runtime.Outstanding != 0 {
+		t.Errorf("runtime generations not drained: %+v", res.Runtime)
+	}
+	if res.AlertsControl != 1 || res.AlertsRetuned != 1 {
+		t.Errorf("each run must raise exactly one alert: control=%d retuned=%d",
+			res.AlertsControl, res.AlertsRetuned)
+	}
+	if res.EscalatedWindowRetuned >= res.EscalatedWindowControl {
+		t.Errorf("threshold raise did not de-escalate at the generation boundary: window reports control=%d retuned=%d",
+			res.EscalatedWindowControl, res.EscalatedWindowRetuned)
+	}
+	if !res.Passed() {
+		t.Error("Passed() must agree with the individual invariants")
+	}
+}

@@ -15,10 +15,12 @@ import (
 )
 
 // Target is what config-P4 configures: the switch control plane (or a
-// remote proxy speaking to one).
+// remote proxy speaking to one). Update must be transactional — the
+// mutation runs against a scratch copy of the runtime config and an
+// error publishes nothing — so a config-P4 command either applies to
+// every metric it names or to none of them.
 type Target interface {
-	SetRate(m controlplane.Metric, samplesPerSecond float64) error
-	SetAlert(m controlplane.Metric, threshold, escalatedSamplesPerSecond float64) error
+	Update(mut func(*controlplane.RuntimeConfig) error) error
 }
 
 // Command is one parsed `psconfig config-P4 ...` invocation.
@@ -108,21 +110,25 @@ func (c Command) metricsFor() []controlplane.Metric {
 	return controlplane.AllMetrics()
 }
 
-// Apply pushes the configuration into the target, returning the first
-// error.
+// Apply pushes the configuration into the target as one transaction:
+// all metrics the command names change together, and any per-metric
+// error (even on the last of four metrics) leaves the target's config
+// exactly as it was.
 func (c Command) Apply(t Target) error {
-	for _, m := range c.metricsFor() {
-		if c.Alert {
-			if err := t.SetAlert(m, c.Threshold, c.SamplesPerSecond); err != nil {
-				return err
-			}
-		} else if c.hasSamples {
-			if err := t.SetRate(m, c.SamplesPerSecond); err != nil {
-				return err
+	return t.Update(func(rc *controlplane.RuntimeConfig) error {
+		for _, m := range c.metricsFor() {
+			if c.Alert {
+				if err := rc.SetAlert(m, c.Threshold, c.SamplesPerSecond); err != nil {
+					return err
+				}
+			} else if c.hasSamples {
+				if err := rc.SetRate(m, c.SamplesPerSecond); err != nil {
+					return err
+				}
 			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // String renders the command back in Figure 6 syntax.

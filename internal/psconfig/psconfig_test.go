@@ -1,32 +1,39 @@
 package psconfig
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
 	"testing"
 
 	"repro/internal/controlplane"
 )
 
-// fakeTarget records configuration calls.
+// fakeTarget implements Target with the same transactional contract
+// as the real control plane: the mutation runs on a scratch copy and
+// an error publishes nothing.
 type fakeTarget struct {
-	rates  map[controlplane.Metric]float64
-	alerts map[controlplane.Metric][2]float64
+	rc controlplane.RuntimeConfig
 }
 
-func newFakeTarget() *fakeTarget {
-	return &fakeTarget{
-		rates:  map[controlplane.Metric]float64{},
-		alerts: map[controlplane.Metric][2]float64{},
+func newFakeTarget() *fakeTarget { return &fakeTarget{} }
+
+func (f *fakeTarget) Update(mut func(*controlplane.RuntimeConfig) error) error {
+	next := f.rc
+	if err := mut(&next); err != nil {
+		return err
 	}
-}
-
-func (f *fakeTarget) SetRate(m controlplane.Metric, s float64) error {
-	f.rates[m] = s
+	f.rc = next
 	return nil
 }
 
-func (f *fakeTarget) SetAlert(m controlplane.Metric, th, esc float64) error {
-	f.alerts[m] = [2]float64{th, esc}
-	return nil
+func (f *fakeTarget) rate(m controlplane.Metric) float64 {
+	return f.rc.MetricConfig(m).SamplesPerSecond
+}
+
+func (f *fakeTarget) alert(m controlplane.Metric) [2]float64 {
+	mc := f.rc.MetricConfig(m)
+	return [2]float64{mc.AlertThreshold, mc.AlertSamplesPerSecond}
 }
 
 // TestFigure6Line1 parses `config-P4 --metric throughput
@@ -40,11 +47,16 @@ func TestFigure6Line1(t *testing.T) {
 	if err := cmd.Apply(tgt); err != nil {
 		t.Fatal(err)
 	}
-	if tgt.rates[controlplane.MetricThroughput] != 1 {
-		t.Fatalf("rates: %v", tgt.rates)
+	if tgt.rate(controlplane.MetricThroughput) != 1 {
+		t.Fatalf("config: %+v", tgt.rc)
 	}
-	if len(tgt.rates) != 1 || len(tgt.alerts) != 0 {
-		t.Fatalf("unexpected extra configuration: %v %v", tgt.rates, tgt.alerts)
+	for _, m := range controlplane.AllMetrics() {
+		if m != controlplane.MetricThroughput && tgt.rate(m) != 0 {
+			t.Fatalf("metric %s configured unexpectedly: %+v", m, tgt.rc)
+		}
+		if tgt.alert(m) != [2]float64{} {
+			t.Fatalf("alert for %s configured unexpectedly: %+v", m, tgt.rc)
+		}
 	}
 }
 
@@ -61,8 +73,8 @@ func TestFigure6Line2(t *testing.T) {
 	}
 	tgt := newFakeTarget()
 	cmd.Apply(tgt)
-	if tgt.rates[controlplane.MetricRTT] != 2 {
-		t.Fatalf("rates: %v", tgt.rates)
+	if tgt.rate(controlplane.MetricRTT) != 2 {
+		t.Fatalf("config: %+v", tgt.rc)
 	}
 }
 
@@ -78,9 +90,8 @@ func TestFigure6Line3(t *testing.T) {
 	if err := cmd.Apply(tgt); err != nil {
 		t.Fatal(err)
 	}
-	got := tgt.alerts[controlplane.MetricQueueOccupancy]
-	if got[0] != 30 || got[1] != 10 {
-		t.Fatalf("alerts: %v", tgt.alerts)
+	if got := tgt.alert(controlplane.MetricQueueOccupancy); got[0] != 30 || got[1] != 10 {
+		t.Fatalf("alert config: %v", got)
 	}
 }
 
@@ -91,11 +102,8 @@ func TestNoMetricAppliesToAll(t *testing.T) {
 	}
 	tgt := newFakeTarget()
 	cmd.Apply(tgt)
-	if len(tgt.rates) != 4 {
-		t.Fatalf("rates for %d metrics, want all 4", len(tgt.rates))
-	}
 	for _, m := range controlplane.AllMetrics() {
-		if tgt.rates[m] != 5 {
+		if tgt.rate(m) != 5 {
 			t.Fatalf("metric %s not configured", m)
 		}
 	}
@@ -145,6 +153,49 @@ func TestApplyAgainstRealControlPlane(t *testing.T) {
 	mc := cp.MetricConfigFor(controlplane.MetricRTT)
 	if mc.AlertThreshold != 90 || mc.AlertSamplesPerSecond != 20 {
 		t.Fatalf("alert config: %+v", mc)
+	}
+}
+
+// TestApplyFailingAllMetricsChangesNothing pins the transactional
+// contract at the psconfig layer: an all-metrics command that fails
+// validation (rate above the control plane's hard cap, which parses
+// fine client-side) leaves the runtime config byte-identical and
+// publishes no generation. Under the old per-metric Target this was
+// the partial-application bug: metrics before the failing one kept
+// the new rate.
+func TestApplyFailingAllMetricsChangesNothing(t *testing.T) {
+	cp := newRealControlPlane(t)
+	// Give each metric a distinct rate so partial application would be
+	// visible on whichever prefix got written.
+	for i, m := range controlplane.AllMetrics() {
+		if err := cp.SetRate(m, float64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := json.Marshal(cp.RuntimeSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens := cp.ConfigGenerations().Published
+
+	over := fmt.Sprintf("%g", controlplane.MaxSamplesPerSecond*2)
+	cmd, err := ParseConfigP4([]string{"--samples_per_second", over})
+	if err != nil {
+		t.Fatalf("over-cap rate must parse client-side: %v", err)
+	}
+	if err := cmd.Apply(cp); err == nil {
+		t.Fatal("over-cap all-metrics command must be rejected")
+	}
+
+	after, err := json.Marshal(cp.RuntimeSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatalf("failed command mutated config:\nbefore %s\nafter  %s", before, after)
+	}
+	if got := cp.ConfigGenerations().Published; got != gens {
+		t.Fatalf("failed command published a generation: %d -> %d", gens, got)
 	}
 }
 
