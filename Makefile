@@ -3,14 +3,14 @@
 GO ?= go
 
 # The headline exhibits the benchmark-regression gate judges.
-BENCH_GATE = ^BenchmarkFig9PerFlow$$|^BenchmarkTable1Comparison$$|^BenchmarkReplayThroughput$$
+BENCH_GATE = ^BenchmarkFig9PerFlow$$|^BenchmarkTable1Comparison$$|^BenchmarkReplayThroughput$$|^BenchmarkSketchUpdate$$|^BenchmarkScaleSweep$$
 
 # The coverage ratchet: `make cover` (and CI's cover job) fails when
 # total statement coverage drops below this. Raise it in the PR that
 # raises coverage; never lower it to make a build pass.
-COVER_MIN = 78.5
+COVER_MIN = 79.0
 
-.PHONY: all build vet test race lint lint-deep chaos bench benchcmp replay-bench cover obs docs ci
+.PHONY: all build vet test race lint lint-deep chaos bench benchcmp replay-bench cover obs scale docs ci
 
 all: ci
 
@@ -50,17 +50,17 @@ chaos:
 	$(GO) run ./cmd/p4lint -only goleak ./internal/resilient ./internal/faultnet
 
 # bench re-measures the gated exhibits and records them as the new
-# committed baseline (BENCH_7.json). Run it on a quiet machine after an
+# committed baseline (BENCH_9.json). Run it on a quiet machine after an
 # intentional performance change, and commit the result.
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchmem -benchtime 1x . | tee bench.out
-	$(GO) run ./cmd/benchcmp -write BENCH_7.json < bench.out
+	$(GO) run ./cmd/benchcmp -write BENCH_9.json < bench.out
 
 # benchcmp is the regression gate: a fresh run must stay within 10%
 # ns/op of the committed baseline.
 benchcmp:
 	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchmem -benchtime 1x . | tee bench.out
-	$(GO) run ./cmd/benchcmp -baseline BENCH_7.json -max-regress-pct 10 < bench.out
+	$(GO) run ./cmd/benchcmp -baseline BENCH_9.json -max-regress-pct 10 < bench.out
 
 # replay-bench streams a large synthetic workload through the batch
 # ingest path and prints the machine's packets/sec and Gbps (the
@@ -85,6 +85,16 @@ obs:
 	$(GO) test -race -timeout 30m ./internal/obs
 	$(GO) test -race -timeout 30m -run 'TestExtOutageObsInvariant' ./internal/experiments
 	$(GO) test -run 'TestAllocFree' -count=1 .
+
+# scale gates the memory-bounded telemetry tier: the sketch, admission
+# and aging suites under the race detector, then the CI-sized
+# accuracy-vs-memory sweep (10k–200k flows) via the batch front-end.
+# The nightly workflow runs the same sweep to the 1M-flow paper point.
+scale:
+	$(GO) test -race -timeout 30m ./internal/sketch
+	$(GO) test -race -timeout 30m -run 'TestAdmission|TestAgeFlows|TestRTTHist|TestRTTBucket|TestFlowTableMemory' ./internal/dataplane
+	$(GO) test -race -timeout 30m -run 'TestScaleSweep' ./internal/experiments
+	$(GO) run ./cmd/p4psonar run scale
 
 # docs keeps the prose honest: every make target and CLI flag named in
 # the documentation's code blocks must exist (Makefile targets, flag

@@ -12,6 +12,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/simtime"
+	"repro/internal/sketch"
 	"repro/internal/tap"
 )
 
@@ -294,4 +295,86 @@ func TestAllocFreePacketPool(t *testing.T) {
 		p := packet.GetUDP(ft, 512)
 		p.Release()
 	})
+}
+
+// TestAllocFreeSketchTier pins the lean tier's hot path: CMS updates,
+// dup-filter probes, loss counting and estimates are pure array
+// arithmetic over preallocated storage.
+func TestAllocFreeSketchTier(t *testing.T) {
+	lean := sketch.NewLean(sketch.Config{})
+	k := sketch.Key(dataplane.KeyOf(allocFlow()))
+	seq := uint64(1)
+	assertZeroAllocs(t, "Lean.Observe", func() { lean.Observe(&k, 1488) })
+	assertZeroAllocs(t, "Lean.SeenSeq", func() { seq += 1448; lean.SeenSeq(&k, seq) })
+	assertZeroAllocs(t, "Lean.CountLoss", func() { lean.CountLoss(&k) })
+	var sink uint64
+	assertZeroAllocs(t, "Lean.Estimate", func() {
+		b, p, l := lean.Estimate(&k)
+		sink += b + p + l
+	})
+	if sink == 0 {
+		t.Fatal("estimates returned nothing")
+	}
+}
+
+// TestAllocFreeSketchTierIngress pins the non-admitted packet path
+// through the pipeline: with a 1-cell table, a second flow loses
+// admission and every one of its packets takes the leanIngress route —
+// aliasing accounting, sketch updates and dup-filter probes included —
+// without allocating.
+func TestAllocFreeSketchTierIngress(t *testing.T) {
+	dp := dataplane.New(dataplane.Config{FlowTableSize: 1})
+	owner := allocFlow()
+	loser := allocFlow()
+	loser.SrcPort = 40001
+	at := simtime.Millisecond
+	own := packet.NewTCP(owner, 1, 0, packet.FlagACK|packet.FlagPSH, 1448)
+	dp.ProcessCopy(tap.Copy{Pkt: own, Point: tap.Ingress, At: at})
+
+	data := packet.NewTCP(loser, 1, 0, packet.FlagACK|packet.FlagPSH, 1448)
+	seq := uint64(1)
+	assertZeroAllocs(t, "sketch-tier ingress data", func() {
+		data.SeqExt = seq
+		data.IPID = uint16(seq)
+		seq += 1448
+		at += 10 * simtime.Microsecond
+		dp.ProcessCopy(tap.Copy{Pkt: data, Point: tap.Ingress, At: at})
+	})
+	if dp.Stats.AliasedPackets == 0 {
+		t.Fatal("loser flow was not routed to the sketch tier")
+	}
+}
+
+// TestAllocFreeRTTHistogram pins the in-register histogram: the ACK
+// path's bucket increment is one register Add, and reading a flow's
+// histogram back copies into a caller-frame value.
+func TestAllocFreeRTTHistogram(t *testing.T) {
+	dp := dataplane.New(dataplane.Config{})
+	ft := allocFlow()
+	id := dataplane.HashFiveTuple(ft)
+	data := packet.NewTCP(ft, 1, 0, packet.FlagACK|packet.FlagPSH, 1448)
+	ack := packet.NewTCP(ft.Reverse(), 1, 1449, packet.FlagACK, 0)
+
+	seq := uint64(1)
+	at := simtime.Millisecond
+	assertZeroAllocs(t, "data+ack with histogram update", func() {
+		data.SeqExt = seq
+		data.IPID = uint16(seq)
+		dp.ProcessCopy(tap.Copy{Pkt: data, Point: tap.Ingress, At: at})
+		ack.AckExt = seq + 1448
+		dp.ProcessCopy(tap.Copy{Pkt: ack, Point: tap.Ingress, At: at + 5*simtime.Millisecond})
+		seq += 1448
+		at += 10 * simtime.Millisecond
+	})
+	if dp.Stats.RTTSamples == 0 {
+		t.Fatal("no RTT samples recorded")
+	}
+	var count uint64
+	assertZeroAllocs(t, "ReadRTTHist", func() {
+		h := dp.ReadRTTHist(id)
+		count = h.Count()
+	})
+	if count == 0 {
+		t.Fatal("histogram empty after sampled ACKs")
+	}
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/replay"
 	"repro/internal/simtime"
+	"repro/internal/sketch"
 	"repro/internal/tap"
 )
 
@@ -456,4 +457,66 @@ func BenchmarkFlowKeyHash(b *testing.B) {
 		sink = k.Hash() ^ k.Reverse().Hash()
 	}
 	_ = sink
+}
+
+// BenchmarkSketchUpdate is the lean tier's line-rate exhibit: one op
+// streams one million packet observations through the sketch bundle —
+// Observe (byte + packet CMS rows) plus the dup-filter TestAndSet every
+// data packet pays — over a rotating 4096-flow key set, then audits a
+// sample of estimates. Macro-shaped like the other gated exhibits so
+// -benchtime 1x yields a stable ns/op.
+func BenchmarkSketchUpdate(b *testing.B) {
+	const updates = 1_000_000
+	const nkeys = 4096
+	keys := make([]sketch.Key, nkeys)
+	for i := range keys {
+		keys[i] = sketch.Key{10, 0, byte(i >> 8), byte(i), 10, 1, byte(i >> 8), byte(i), 156, 64, 20, 81, 6}
+	}
+	for i := 0; i < b.N; i++ {
+		lean := sketch.NewLean(sketch.Config{DupExpectedInserts: updates})
+		dups := 0
+		for j := 0; j < updates; j++ {
+			k := &keys[j%nkeys]
+			lean.Observe(k, 1488)
+			if lean.SeenSeq(k, uint64(j/nkeys)*1448+1) {
+				dups++
+				lean.CountLoss(k)
+			}
+		}
+		var worst uint64
+		for j := range keys {
+			_, pkts, _ := lean.Estimate(&keys[j])
+			if over := pkts - updates/nkeys; over > worst {
+				worst = over
+			}
+		}
+		_, pktsBound, _ := lean.Bounds()
+		if worst > pktsBound {
+			b.Fatalf("sketch overcount %d beyond bound %d", worst, pktsBound)
+		}
+		b.ReportMetric(float64(dups), "dup-fps")
+		b.ReportMetric(float64(lean.MemoryBytes())/1e6, "MB")
+	}
+}
+
+// BenchmarkScaleSweep is the two-tier gate exhibit: one op replays a
+// 100k-flow workload (50x the exact table) through the batch path and
+// audits the analytical guarantees — admitted flows bit-exact,
+// sketch-tier estimates within ⌈ε·N⌉, eviction folds lossless. The
+// nightly workflow runs the same sweep to the 1M-flow paper point.
+func BenchmarkScaleSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunScaleSweep(experiments.ScaleSweepConfig{
+			FlowCounts:     []int{100_000},
+			PacketsPerFlow: 16,
+			SampleFlows:    64,
+		})
+		p := r.Points[0]
+		if !p.Pass() {
+			b.Fatalf("scale sweep violated guarantees: undercounts=%d exactMismatches=%d boundViolations=%d/%d foldErrors=%d",
+				p.Undercounts, p.ExactMismatches, p.BoundViolations, p.BoundAllowance, p.FoldErrors)
+		}
+		b.ReportMetric(p.PPS/1e6, "Mpps")
+		b.ReportMetric(p.BytesPerFlow, "B/flow")
+	}
 }

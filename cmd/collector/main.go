@@ -74,6 +74,7 @@ func main() {
 	backoffMax := flag.Duration("backoff-max", 5*time.Second, "reconnect backoff ceiling")
 	writeTimeout := flag.Duration("write-timeout", 5*time.Second, "per-write deadline on the archiver connection")
 	obsAddr := flag.String("obs-addr", "", "self-telemetry HTTP endpoint: /metrics, /trace, expvar, pprof (empty disables)")
+	agingWindow := flag.Duration("aging-window", 0, "evict unannounced flow-table cells idle longer than this to the sketch tier (0 disables aging)")
 	flag.Parse()
 
 	cfg := resilient.Config{
@@ -111,6 +112,9 @@ func main() {
 		Seed:          *seed,
 		Shards:        *shards,
 		ExtraSink:     sink,
+		ControlPlane: controlplane.Config{
+			AgingWindow: simtime.Time(agingWindow.Nanoseconds()),
+		},
 	})
 	guard := &engineGuard{}
 

@@ -131,6 +131,14 @@ func main() {
 				return err
 			}
 			fmt.Println(r.Render())
+		case "scale":
+			// Fast sweeps to 200k flows; -paper to the full 1M-flow
+			// point the nightly workflow records.
+			r := experiments.RunScaleSweep(experiments.ScaleSweepConfig{Scale: scale, Shards: *shards, Seed: *seed})
+			fmt.Println(r.Render())
+			if !r.Pass() {
+				return fmt.Errorf("scale sweep violated its analytical guarantees")
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -165,5 +173,5 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: p4psonar run [-paper] [-shards N] [-out DIR] [-seed N] [-cpuprofile F] [-memprofile F] [-obs-addr ADDR] table1|fig9|fig10|fig11|fig12|fig13|fig14|coexistence|reconfig|all`)
+	fmt.Fprintln(os.Stderr, `usage: p4psonar run [-paper] [-shards N] [-out DIR] [-seed N] [-cpuprofile F] [-memprofile F] [-obs-addr ADDR] table1|fig9|fig10|fig11|fig12|fig13|fig14|coexistence|reconfig|scale|all`)
 }

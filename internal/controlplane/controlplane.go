@@ -143,6 +143,13 @@ type Config struct {
 	//
 	// p4:gen-seed
 	CMSResetInterval simtime.Time
+	// AgingWindow, when positive, turns on the data plane's flow-table
+	// aging: the 1 Hz sweep evicts unannounced register cells idle
+	// longer than this window, folding their counters into the sketch
+	// tier (DESIGN.md §5.8). Zero disables aging — every cell keeps its
+	// first owner until released, the pre-two-tier behaviour. Announced
+	// flows are never aged; this directory's FIN/idle sweep owns them.
+	AgingWindow simtime.Time
 }
 
 // withDefaults fills the unset seed fields.
@@ -431,6 +438,7 @@ func (cp *ControlPlane) extract(m Metric, now simtime.Time) {
 		snap := cp.dp.ReadFlow(f.id, f.revID)
 		var value float64
 		var unit string
+		var p50, p95, p99 float64
 		report := true
 
 		switch m {
@@ -443,6 +451,12 @@ func (cp *ControlPlane) extract(m Metric, now simtime.Time) {
 				report = false
 				break
 			}
+			if snap.Bytes < f.prevBytes {
+				// The cell restarted beneath the directory (released or
+				// reset through the runtime API): resync the baseline
+				// instead of producing a wrapped-around delta.
+				f.prevBytes = 0
+			}
 			value = float64(snap.Bytes-f.prevBytes) * 8 / elapsed.Seconds()
 			unit = "bps"
 			f.prevBytes = snap.Bytes
@@ -452,6 +466,12 @@ func (cp *ControlPlane) extract(m Metric, now simtime.Time) {
 				throughputs = append(throughputs, value)
 			}
 		case MetricPacketLoss:
+			if snap.PktLoss < f.prevLoss {
+				f.prevLoss = 0 // cell restarted beneath the directory
+			}
+			if snap.Pkts < f.prevLossPkts {
+				f.prevLossPkts = 0
+			}
 			lossDelta := snap.PktLoss - f.prevLoss
 			pktsDelta := snap.Pkts - f.prevLossPkts
 			f.prevLoss = snap.PktLoss
@@ -464,11 +484,29 @@ func (cp *ControlPlane) extract(m Metric, now simtime.Time) {
 			}
 			unit = "percent"
 		case MetricRTT:
-			if snap.RTT == 0 {
+			// The in-register histogram (data-flow cell) turns the
+			// latest-sample register into a distribution: p50/p95/p99
+			// ride along with every RTT report.
+			hist := cp.dp.ReadRTTHist(f.id)
+			if hist.Count() > 0 {
+				p50 = hist.Quantile(0.50).Millis()
+				p95 = hist.Quantile(0.95).Millis()
+				p99 = hist.Quantile(0.99).Millis()
+			}
+			switch {
+			case snap.RTT != 0:
+				value = snap.RTT.Millis()
+			case p50 != 0:
+				// The scalar cell was released (eviction or flow restart)
+				// but the histogram still holds the distribution: report
+				// its median rather than dropping the sample.
+				value = p50
+			default:
 				report = false
+			}
+			if !report {
 				break
 			}
-			value = snap.RTT.Millis()
 			unit = "ms"
 		case MetricQueueOccupancy:
 			value = cp.occupancyPct(snap.QDelay)
@@ -482,18 +520,21 @@ func (cp *ControlPlane) extract(m Metric, now simtime.Time) {
 			maxValue = value
 		}
 		r := Report{
-			Kind:    KindMetric,
-			TimeNs:  int64(now),
-			Metric:  m,
-			Value:   value,
-			Unit:    unit,
-			FlowID:  f.idHex,
-			RevID:   f.revHex,
-			SrcIP:   f.srcIPStr,
-			DstIP:   f.dstIPStr,
-			SrcPort: f.tuple.SrcPort,
-			DstPort: f.tuple.DstPort,
-			Proto:   f.protoStr,
+			Kind:     KindMetric,
+			TimeNs:   int64(now),
+			Metric:   m,
+			Value:    value,
+			Unit:     unit,
+			FlowID:   f.idHex,
+			RevID:    f.revHex,
+			SrcIP:    f.srcIPStr,
+			DstIP:    f.dstIPStr,
+			SrcPort:  f.tuple.SrcPort,
+			DstPort:  f.tuple.DstPort,
+			Proto:    f.protoStr,
+			RTTP50Ms: p50,
+			RTTP95Ms: p95,
+			RTTP99Ms: p99,
 		}
 		cp.sink.Emit(r)
 	}
@@ -558,6 +599,9 @@ func (cp *ControlPlane) classifyLimitations(now simtime.Time) {
 		snap := cp.dp.ReadFlow(f.id, f.revID)
 		if !snap.HasFlightWindow() {
 			continue // reverse/ACK flows and idle flows: nothing to classify
+		}
+		if snap.PktLoss < f.prevLossForClass {
+			f.prevLossForClass = 0 // cell restarted beneath the directory
 		}
 		lossDelta := snap.PktLoss - f.prevLossForClass
 		f.prevLossForClass = snap.PktLoss
@@ -647,6 +691,14 @@ func (cp *ControlPlane) sweepTerminated(now simtime.Time) {
 	rc := cp.runtime.Current()
 	for _, m := range AllMetrics() {
 		cp.retune(m, rc.MetricConfig(m))
+	}
+	// Flow-table aging rides the same 1 Hz sweep: unannounced cells
+	// idle past the window downgrade to the sketch tier so the exact
+	// tier keeps tracking only live heavy-hitter candidates. Directory
+	// flows are exempt (AgeFlows skips announced cells) and are
+	// released below with a flow-summary report instead.
+	if cp.cfg.AgingWindow > 0 {
+		cp.dp.AgeFlows(now, cp.cfg.AgingWindow)
 	}
 	for _, f := range cp.sortedFlows() {
 		snap := cp.dp.ReadFlow(f.id, f.revID)

@@ -511,3 +511,87 @@ func TestRateToInterval(t *testing.T) {
 		t.Fatal("zero rate must default to 1/s")
 	}
 }
+
+func TestRTTReportCarriesHistogramQuantiles(t *testing.T) {
+	sink := &MemorySink{}
+	e, dp, cp := newCP(sink, Config{
+		LinkCapacityBps: 1e9,
+		Metrics: map[Metric]MetricConfig{
+			MetricRTT: {SamplesPerSecond: 2},
+		},
+	})
+	cp.Start()
+
+	ft := flowTuple(40001)
+	const payload = 1000
+	rtt := 5 * simtime.Millisecond
+	// 20 data/ACK exchanges at a fixed 5ms RTT: enough bytes to cross
+	// the announce threshold and enough ACK matches to fill the
+	// in-register histogram.
+	e.Schedule(0, func() {
+		at := simtime.Millisecond
+		for i := 0; i < 20; i++ {
+			seq := uint64(1 + i*payload)
+			p := packet.NewTCP(ft, seq, 0, packet.FlagACK|packet.FlagPSH, payload)
+			p.IPID = uint16(i + 1)
+			dp.ProcessCopy(tap.Copy{Pkt: p, Point: tap.Ingress, At: at})
+			ack := packet.NewTCP(ft.Reverse(), 1, seq+payload, packet.FlagACK, 0)
+			dp.ProcessCopy(tap.Copy{Pkt: ack, Point: tap.Ingress, At: at + rtt})
+			at += 10 * simtime.Millisecond
+		}
+	})
+	e.Run(2 * simtime.Second)
+
+	reps := sink.MetricReports(MetricRTT, "")
+	if len(reps) == 0 {
+		t.Fatal("no rtt reports")
+	}
+	last := reps[len(reps)-1]
+	// Quantiles are log2-bucket upper bounds: with every sample at 5ms
+	// each quantile must cover 5ms but stay within one octave of it.
+	lo, hi := rtt.Millis(), 2*rtt.Millis()
+	for name, q := range map[string]float64{
+		"p50": last.RTTP50Ms, "p95": last.RTTP95Ms, "p99": last.RTTP99Ms,
+	} {
+		if q < lo || q >= hi {
+			t.Errorf("%s = %.3f ms, want in [%.1f, %.1f)", name, q, lo, hi)
+		}
+	}
+	if last.RTTP99Ms < last.RTTP50Ms {
+		t.Errorf("p99 %.3f < p50 %.3f", last.RTTP99Ms, last.RTTP50Ms)
+	}
+	// The scalar sample value must agree with the distribution to
+	// within one octave too.
+	if last.Value <= 0 || last.Value >= hi {
+		t.Errorf("rtt value = %.3f ms, want (0, %.1f)", last.Value, hi)
+	}
+}
+
+func TestAgingWindowEvictsIdleUnannouncedFlows(t *testing.T) {
+	sink := &MemorySink{}
+	e, dp, cp := newCP(sink, Config{
+		LinkCapacityBps: 1e9,
+		AgingWindow:     500 * simtime.Millisecond,
+	})
+	cp.Start()
+
+	// A short flow that never crosses the announce threshold
+	// (5 x 500B < 10_000B LongFlowBytes) and then goes idle.
+	ft := flowTuple(40007)
+	e.Schedule(0, func() {
+		feedFlow(dp, ft, simtime.Millisecond, 5, 500, simtime.Millisecond)
+	})
+	e.Run(3 * simtime.Second)
+
+	if dp.Stats.Evictions == 0 {
+		t.Fatal("aging sweep evicted nothing")
+	}
+	// The flow's history survives in the sketch tier.
+	est := dp.EstimateFlow(dataplane.KeyOf(ft))
+	if est.Admitted {
+		t.Fatal("evicted flow still owns its exact cell")
+	}
+	if est.Pkts < 5 {
+		t.Fatalf("sketch pkts = %d, want >= 5", est.Pkts)
+	}
+}

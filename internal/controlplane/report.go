@@ -103,6 +103,14 @@ type Report struct {
 	Value  float64 `json:"value,omitempty"`
 	Unit   string  `json:"unit,omitempty"`
 
+	// RTT distribution quantiles (metric kind, rtt only), extracted
+	// from the data plane's in-register log₂ histogram. Upper bounds
+	// with one-octave resolution (DESIGN.md §5.8); zero when the flow
+	// has no histogram samples yet.
+	RTTP50Ms float64 `json:"rtt_p50_ms,omitempty"`
+	RTTP95Ms float64 `json:"rtt_p95_ms,omitempty"`
+	RTTP99Ms float64 `json:"rtt_p99_ms,omitempty"`
+
 	// Alert details.
 	Threshold     float64 `json:"threshold,omitempty"`
 	EscalatedRate float64 `json:"escalated_rate,omitempty"`

@@ -15,6 +15,7 @@ import (
 	"repro/internal/genconfig"
 	"repro/internal/packet"
 	"repro/internal/simtime"
+	"repro/internal/sketch"
 	"repro/internal/tap"
 )
 
@@ -60,6 +61,18 @@ type Config struct {
 	// and a per-packet average would chase the ramp and never see it
 	// as sudden. Seed value only (p4:gen-seed).
 	BurstBaselineTau simtime.Time
+	// SketchEpsilon and SketchDelta are the lean tier's (ε, δ) error
+	// target: a sketch estimate overcounts by more than ε·N with
+	// probability at most δ (DESIGN.md §5.8). Zero values take the
+	// sketch package defaults (ε = 1e-3, δ = 0.01).
+	SketchEpsilon float64
+	SketchDelta   float64
+	// DupFilterInserts sizes the lean tier's duplicate filter for the
+	// expected number of (flow, seq) pairs per measurement window;
+	// DupFilterFP is the tolerated false-positive rate at that fill.
+	// Zero values take the sketch package defaults.
+	DupFilterInserts int
+	DupFilterFP      float64
 }
 
 // WithDefaults fills unset fields with the paper-faithful defaults.
@@ -146,6 +159,8 @@ type Stats struct {
 	SlotCollisions uint64 // distinct flows aliasing one register cell
 	Microbursts    uint64
 	SkippedPackets uint64 // filtered out by the monitor table
+	AliasedPackets uint64 // packets the admission gate routed to the sketch tier
+	Evictions      uint64 // flow-table cells evicted by the aging sweep
 }
 
 // flightNoSample marks a flight-size window with no observations yet.
@@ -184,7 +199,23 @@ type DataPlane struct {
 	lastSeen   *Register
 	finSeenReg *Register // 1 once a FIN was observed on the flow
 	announced  *Register // 1 once the long-flow digest was emitted
-	ownerLo    *Register // low 32 bits of owning flow ID, collision witness
+	ownerLo    *Register // low 32 bits of owning flow ID, admission witness
+	rttHist    *Register // per-flow RTT log₂ histogram, RTTHistBuckets cells per flow
+
+	// ownerKeys is the admission gate's exact side table: the full
+	// 13-byte key of each cell's owner, disambiguating the rare CRC32
+	// collision the 32-bit ownerLo witness cannot (see admitCell).
+	ownerKeys []FlowKey
+
+	// lean is the sketch tier: every packet the admission gate turns
+	// away, and every evicted cell's folded history, lands here with
+	// (ε, δ)-bounded counters (DESIGN.md §5.8).
+	lean *sketch.Lean
+
+	// tableN caches FlowTableSize for the packet path's cell-index
+	// reduction (ownerKeys is a plain slice, so unlike Register ops the
+	// index must be reduced before use).
+	tableN uint32
 
 	// Algorithm 1 expected-ACK table.
 	eackSig *Register
@@ -313,6 +344,15 @@ func New(cfg Config) *DataPlane {
 		finSeenReg: NewRegisterWidth("fin_seen", n, 1),
 		announced:  NewRegisterWidth("announced", n, 1),
 		ownerLo:    NewRegisterWidth("owner_lo", n, 32),
+		rttHist:    NewRegisterWidth("rtt_hist", n*RTTHistBuckets, 32),
+		ownerKeys:  make([]FlowKey, n),
+		tableN:     uint32(n),
+		lean: sketch.NewLean(sketch.Config{
+			Epsilon:            cfg.SketchEpsilon,
+			Delta:              cfg.SketchDelta,
+			DupExpectedInserts: cfg.DupFilterInserts,
+			DupTargetFP:        cfg.DupFilterFP,
+		}),
 		eackSig:    NewRegister("eack_sig", cfg.EACKTableSize),
 		eackTS:     NewRegisterWidth("eack_ts", cfg.EACKTableSize, 48),
 		qSig:       NewRegisterWidth("qsig", cfg.QSigTableSize, 48),
@@ -328,7 +368,7 @@ func New(cfg Config) *DataPlane {
 		d.qdelayReg, d.highSeqReg, d.highAckReg, d.flightReg,
 		d.flightMaxW, d.flightMinW, d.lastArrReg, d.maxIATReg,
 		d.firstSeen, d.lastSeen, d.finSeenReg, d.announced, d.ownerLo,
-		d.eackSig, d.eackTS, d.qSig, d.qTS,
+		d.rttHist, d.eackSig, d.eackTS, d.qSig, d.qTS,
 	} {
 		d.registry[r.Name()] = r
 	}
@@ -536,13 +576,23 @@ func (d *DataPlane) processIngress(v *view) {
 
 	key := v.key
 	id, revID := d.flowIDs(key)
-	idx := uint32(id)
+	idx := uint32(id) % d.tableN
 
 	// Stamp the ingress time for queuing-delay pairing with the egress
-	// copy (both directions transit the core switch).
+	// copy (both directions transit the core switch). Port-level state,
+	// not per-flow cells — stamped for every monitored packet so the
+	// queue and microburst view covers the sketch-tier traffic too.
 	qidx := hash2(id, uint64(v.ipid))
 	d.qSig.Write(qidx, uint64(id)<<16|uint64(v.ipid))
 	d.qTS.Write(qidx, uint64(now))
+
+	// Admission gate: only the cell's owner writes the exact per-flow
+	// registers; everyone else is counted in the sketch tier with
+	// (ε, δ)-bounded error instead of silently corrupting the cell.
+	if !d.admitCell(idx, id, key) {
+		d.leanIngress(v)
+		return
+	}
 
 	// Byte and packet counters come from the IPv4 total-length field.
 	d.bytesReg.Add(idx, uint64(v.totalLen))
@@ -551,12 +601,6 @@ func (d *DataPlane) processIngress(v *view) {
 		d.firstSeen.Write(idx, uint64(now))
 	}
 	d.lastSeen.Write(idx, uint64(now))
-
-	// Collision witness: note when two distinct flows alias a cell.
-	if prev := d.ownerLo.Read(idx); prev != 0 && prev != uint64(id) {
-		d.Stats.SlotCollisions++
-	}
-	d.ownerLo.Write(idx, uint64(id))
 
 	if v.proto == packet.ProtoTCP && v.flags&packet.FlagFIN != 0 {
 		d.finSeenReg.Write(idx, 1)
@@ -601,6 +645,14 @@ func (d *DataPlane) processData(v *view, key FlowKey, id, revID FlowID, idx uint
 		return
 	}
 
+	// Warm the lean tier's duplicate filter even while admitted: if
+	// this cell is later evicted, a retransmission of a segment sent
+	// during the admitted era must still test positive in the sketch
+	// tier. The result is discarded — the exact counter below owns
+	// loss accounting while the flow holds its cell.
+	lk := sketch.Key(key)
+	d.lean.SeenSeq(&lk, v.seqExt)
+
 	// Algorithm 1, Seq branch: a sequence number below the previous one
 	// is a retransmission, i.e. evidence of packet loss.
 	prev := d.prevSeqReg.Read(idx)
@@ -631,6 +683,11 @@ func (d *DataPlane) processData(v *view, key FlowKey, id, revID FlowID, idx uint
 //
 // p4:hotpath
 func (d *DataPlane) processAck(v *view, id, revID FlowID, now simtime.Time) {
+	// The data flow's cell: histogram, high-ACK and flight writes land
+	// there, so they require the reverse direction to own it.
+	rslot := uint32(revID) % d.tableN
+	revOwns := d.ownsCell(rslot, revID, v.key.Reverse())
+
 	ack := v.ackExt
 	sig := uint64(id)<<32 | (ack & 0xffffffff)
 	eidx := hash2(id, ack)
@@ -641,6 +698,11 @@ func (d *DataPlane) processAck(v *view, id, revID FlowID, now simtime.Time) {
 			// Algorithm 1 stores the RTT at the ACK packet's flow ID;
 			// the control plane joins it back via the reversed ID.
 			d.rttReg.Write(uint32(id), rtt)
+			if revOwns {
+				// P4TG-style distribution: the sample also lands in the
+				// data flow's in-register log₂ histogram.
+				d.rttHist.Add(rslot*RTTHistBuckets+rttBucket(rtt), 1)
+			}
 			d.Stats.RTTSamples++
 			if o := d.obs; o != nil {
 				o.rttSamples.Inc()
@@ -652,9 +714,10 @@ func (d *DataPlane) processAck(v *view, id, revID FlowID, now simtime.Time) {
 	}
 
 	// The ACK acknowledges the reverse flow's data.
-	dataIdx := uint32(revID)
-	d.highAckReg.Max(dataIdx, ack)
-	d.updateFlight(dataIdx, now)
+	if revOwns {
+		d.highAckReg.Max(rslot, ack)
+		d.updateFlight(rslot, now)
+	}
 }
 
 // updateFlight recomputes the flow's bytes-in-flight estimate
@@ -703,7 +766,13 @@ func (d *DataPlane) processEgress(v *view) {
 	if o := d.obs; o != nil {
 		o.qdelayNs.Observe(uint64(qdelay))
 	}
-	d.qdelayReg.Write(uint32(id), uint64(qdelay))
+	// The per-flow cell only takes the sample from its owner; the
+	// port-level microburst detector below sees every paired packet
+	// regardless of which tier the flow lives in.
+	slot := uint32(id) % d.tableN
+	if d.ownsCell(slot, id, v.key) {
+		d.qdelayReg.Write(slot, uint64(qdelay))
+	}
 	d.lastQDelay = qdelay
 	d.lastEgress = now
 	d.detectMicroburst(qdelay, now)
@@ -824,6 +893,13 @@ type Plane interface {
 	ResetWindow(id FlowID)
 	// ReleaseFlow returns a terminated flow's cells to the pool.
 	ReleaseFlow(id FlowID)
+	// ReadRTTHist extracts the flow's in-register RTT histogram (pass
+	// the data-direction flow ID; the distribution lives at its cell).
+	ReadRTTHist(id FlowID) RTTHist
+	// AgeFlows evicts unannounced flow-table cells idle longer than
+	// window, folding their exact counters into the sketch tier, and
+	// returns the number of cells evicted.
+	AgeFlows(now, window simtime.Time) int
 	// ClearCMS zeroes the long-flow sketch (periodic decay).
 	ClearCMS()
 	// Flush establishes the barrier: all batched packet work is

@@ -20,6 +20,8 @@ type dpObs struct {
 	rttSamples    *obs.Counter
 	microbursts   *obs.Counter
 	skipped       *obs.Counter
+	aliased       *obs.Counter
+	evictions     *obs.Counter
 
 	rttNs     *obs.Histogram
 	qdelayNs  *obs.Histogram
@@ -37,6 +39,8 @@ func (d *DataPlane) RegisterObs(r *obs.Registry) {
 		rttSamples:    r.NewCounter("p4_dataplane_rtt_samples_total", "Algorithm 1 RTT samples produced."),
 		microbursts:   r.NewCounter("p4_dataplane_microbursts_total", "Microburst events detected."),
 		skipped:       r.NewCounter("p4_dataplane_skipped_packets_total", "Packets excluded by the monitor table."),
+		aliased:       r.NewCounter("p4_dataplane_aliased_packets_total", "Packets the admission gate routed to the sketch tier."),
+		evictions:     r.NewCounter("p4_dataplane_flow_evictions_total", "Flow-table cells evicted by the aging sweep."),
 		rttNs:         r.NewHistogram("p4_dataplane_rtt_ns", "Per-sample RTT (ns), power-of-two buckets."),
 		qdelayNs:      r.NewHistogram("p4_dataplane_queue_delay_ns", "Per-packet queuing delay (ns), power-of-two buckets."),
 		burstNs:       r.NewHistogram("p4_dataplane_microburst_duration_ns", "Microburst duration (ns), power-of-two buckets."),
@@ -49,6 +53,8 @@ func (d *DataPlane) RegisterObs(r *obs.Registry) {
 		d.OccupiedCells)
 	r.NewGaugeFunc("p4_dataplane_flow_table_size", "Configured per-flow register cells.",
 		func() uint64 { return uint64(d.cfg.FlowTableSize) })
+	r.NewGaugeFunc("p4_dataplane_sketch_memory_bytes", "Lean sketch tier storage footprint.",
+		d.LeanMemoryBytes)
 }
 
 // OccupiedCells counts flow-table register cells currently owned by a

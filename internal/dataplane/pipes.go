@@ -416,6 +416,75 @@ func (p *Pipes) ReleaseFlow(id FlowID) {
 	}
 }
 
+// ReadRTTHist flushes, then sums the flow's in-register RTT histogram
+// buckets across shards (only the owning shard holds samples, but the
+// additive merge is also correct under cross-shard cell aliasing).
+func (p *Pipes) ReadRTTHist(id FlowID) RTTHist {
+	if p.n == 1 {
+		return p.shards[0].ReadRTTHist(id)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flushLocked()
+	var h RTTHist
+	for _, d := range p.shards {
+		m := d.ReadRTTHist(id)
+		for b := range h.Buckets {
+			h.Buckets[b] += m.Buckets[b]
+		}
+	}
+	return h
+}
+
+// AgeFlows flushes, then runs the aging sweep on every shard and
+// returns the total number of cells evicted.
+func (p *Pipes) AgeFlows(now, window simtime.Time) int {
+	if p.n == 1 {
+		return p.shards[0].AgeFlows(now, window)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flushLocked()
+	evicted := 0
+	for _, d := range p.shards {
+		evicted += d.AgeFlows(now, window)
+	}
+	return evicted
+}
+
+// EstimateFlow flushes, then answers from the flow's owning shard: the
+// partition sends both directions of a key to one shard, so its
+// two-tier estimate is the whole-traffic answer.
+func (p *Pipes) EstimateFlow(key FlowKey) FlowEstimate {
+	if p.n == 1 {
+		return p.shards[0].EstimateFlow(key)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flushLocked()
+	return p.shards[shardOf(key, p.n)].EstimateFlow(key)
+}
+
+// FlowTableMemoryBytes sums the exact tier's storage footprint across
+// shards; LeanMemoryBytes sums the sketch tier's.
+func (p *Pipes) FlowTableMemoryBytes() uint64 {
+	var b uint64
+	for _, d := range p.shards {
+		b += d.FlowTableMemoryBytes()
+	}
+	return b
+}
+
+// LeanMemoryBytes sums the sketch tier's storage footprint across
+// shards.
+func (p *Pipes) LeanMemoryBytes() uint64 {
+	var b uint64
+	for _, d := range p.shards {
+		b += d.LeanMemoryBytes()
+	}
+	return b
+}
+
 // ClearCMS flushes, then clears every shard's long-flow sketch.
 func (p *Pipes) ClearCMS() {
 	if p.n == 1 {
@@ -467,6 +536,8 @@ func (p *Pipes) StatsSnapshot() Stats {
 		s.SlotCollisions += d.Stats.SlotCollisions
 		s.Microbursts += d.Stats.Microbursts
 		s.SkippedPackets += d.Stats.SkippedPackets
+		s.AliasedPackets += d.Stats.AliasedPackets
+		s.Evictions += d.Stats.Evictions
 	}
 	return s
 }
@@ -548,7 +619,7 @@ func (p *Pipes) ReadRegister(name string, idx uint32) (uint64, bool) {
 // mergeRegisterLocked applies the per-kind merge for one cell.
 func (p *Pipes) mergeRegisterLocked(name string, idx uint32) uint64 {
 	switch name {
-	case "flow_bytes", "flow_pkts", "pkt_loss", "flight":
+	case "flow_bytes", "flow_pkts", "pkt_loss", "flight", "rtt_hist":
 		var sum uint64
 		for _, d := range p.shards {
 			sum += d.RegisterByName(name).Read(idx)

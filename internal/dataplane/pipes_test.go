@@ -24,6 +24,30 @@ func traceFlow(i int) packet.FiveTuple {
 	}
 }
 
+// aliasFreeFlowIdx returns n trace-flow indices whose forward and
+// reverse flow IDs occupy pairwise-distinct flow-table cells at the
+// default table size. The merge property is stated for alias-free
+// traffic: the admission gate resolves cell aliasing per pipe (the
+// loser of a cell goes to the sketch tier), so two aliased flows that
+// the partition separates each own an exact cell on their shard while
+// a single pipe admits only the first — a deliberate semantic change
+// pinned by the eviction/aliasing regression tests, not a merge bug.
+func aliasFreeFlowIdx(n int) []int {
+	used := make(map[uint32]bool, 2*n)
+	idxs := make([]int, 0, n)
+	for i := 0; len(idxs) < n; i++ {
+		ft := traceFlow(i)
+		a := uint32(HashFiveTuple(ft)) % 2048
+		b := uint32(HashReverse(ft)) % 2048
+		if a == b || used[a] || used[b] {
+			continue
+		}
+		used[a], used[b] = true, true
+		idxs = append(idxs, i)
+	}
+	return idxs
+}
+
 // buildTrace constructs a deterministic bidirectional packet trace:
 // per flow, interleaved data segments (with a couple of injected
 // retransmissions to exercise Algorithm 1's loss branch), matching
@@ -31,11 +55,21 @@ func traceFlow(i int) packet.FiveTuple {
 // data packets at a fixed transit delay. Copies are returned in
 // global timestamp order, as the TAP pair would deliver them.
 func buildTrace(flows, pktsPerFlow int) []tap.Copy {
+	idxs := make([]int, flows)
+	for i := range idxs {
+		idxs[i] = i
+	}
+	return buildTraceIdx(idxs, pktsPerFlow)
+}
+
+// buildTraceIdx is buildTrace over an explicit set of trace-flow
+// indices (see aliasFreeFlowIdx).
+func buildTraceIdx(idxs []int, pktsPerFlow int) []tap.Copy {
 	var trace []tap.Copy
 	const mss = 1448
 	const transit = 200 * simtime.Microsecond
 	for k := 0; k < pktsPerFlow; k++ {
-		for i := 0; i < flows; i++ {
+		for _, i := range idxs {
 			ft := traceFlow(i)
 			at := simtime.Millisecond + simtime.Time(k)*simtime.Millisecond + simtime.Time(i)*simtime.Microsecond
 			seq := uint64(1 + k*mss)
@@ -80,13 +114,14 @@ func runTrace(trace []tap.Copy, shards int) (*Pipes, []LongFlowEvent) {
 // cells exactly (DESIGN.md §5.4).
 func TestPipesMergePropertyMatchesSinglePipe(t *testing.T) {
 	const flows, pkts = 24, 60
+	idxs := aliasFreeFlowIdx(flows)
 	for _, shards := range []int{2, 3, 4, 8} {
 		shards := shards
 		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
-			base, baseEvents := runTrace(buildTrace(flows, pkts), 1)
-			sharded, shardedEvents := runTrace(buildTrace(flows, pkts), shards)
+			base, baseEvents := runTrace(buildTraceIdx(idxs, pkts), 1)
+			sharded, shardedEvents := runTrace(buildTraceIdx(idxs, pkts), shards)
 
-			for i := 0; i < flows; i++ {
+			for _, i := range idxs {
 				ft := traceFlow(i)
 				id, rev := HashFiveTuple(ft), HashReverse(ft)
 				want := base.ReadFlow(id, rev)

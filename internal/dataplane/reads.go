@@ -88,7 +88,16 @@ func (d *DataPlane) ReleaseFlow(id FlowID) {
 	d.highAckReg.Write(idx, 0)
 	d.flightReg.Write(idx, 0)
 	d.lastArrReg.Write(idx, 0)
+	d.qdelayReg.Write(idx, 0)
 	d.ownerLo.Write(idx, 0)
+	// Release the admission record and the cell's RTT histogram so the
+	// next owner starts from a clean distribution.
+	slot := idx % d.tableN
+	d.ownerKeys[slot] = FlowKey{}
+	base := slot * RTTHistBuckets
+	for b := uint32(0); b < RTTHistBuckets; b++ {
+		d.rttHist.Write(base+b, 0)
+	}
 	d.ResetWindow(id)
 }
 

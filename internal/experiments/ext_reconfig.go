@@ -189,6 +189,16 @@ func (p *reconfigPlane) ResetWindow(id dataplane.FlowID) {}
 // ReleaseFlow implements dataplane.Plane.
 func (p *reconfigPlane) ReleaseFlow(id dataplane.FlowID) {}
 
+// ReadRTTHist implements dataplane.Plane; the scripted plane reports
+// no histogram samples, so extraction falls back to the scalar RTT.
+func (p *reconfigPlane) ReadRTTHist(id dataplane.FlowID) dataplane.RTTHist {
+	return dataplane.RTTHist{}
+}
+
+// AgeFlows implements dataplane.Plane; the scripted plane has no flow
+// table to age.
+func (p *reconfigPlane) AgeFlows(now, window simtime.Time) int { return 0 }
+
 // ClearCMS implements dataplane.Plane.
 func (p *reconfigPlane) ClearCMS() {}
 

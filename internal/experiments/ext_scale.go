@@ -1,0 +1,370 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/dataplane"
+	"repro/internal/replay"
+	"repro/internal/simtime"
+	"repro/internal/sketch"
+)
+
+// This file implements the accuracy-vs-memory scale sweep for the
+// two-tier telemetry design (DESIGN.md §5.8): the exact register tier
+// holds a fixed 2048-cell flow table while the lean sketch tier
+// absorbs every non-admitted and evicted flow in O(1/ε · ln 1/δ)
+// memory. The sweep replays synthetic workloads from 10⁴ up to 10⁶
+// concurrent flows through the batch front-end and checks, per sweep
+// point, that the implementation delivers exactly what the analysis
+// promises: admitted (heavy-hitter) flows read back bit-exact,
+// sketch-tier estimates never undercount and overcount within the
+// ⌈ε·N⌉ bound at the configured confidence, and eviction folds lose
+// no history.
+
+// ScaleSweepConfig parameterises the sweep.
+type ScaleSweepConfig struct {
+	Scale Scale
+	// FlowCounts are the concurrent-flow populations to sweep. Default
+	// {10k, 50k, 200k} at fast scale, {10k, 100k, 1M} at paper scale.
+	FlowCounts []int
+	// PacketsPerFlow is the average number of TAP records per flow
+	// (the Synth round-robins records, so data, ACK and egress copies
+	// all count). Default 32.
+	PacketsPerFlow int
+	// FlowTableSize is the exact tier's cell count; default 2048 (the
+	// paper's table, deliberately orders of magnitude below the flow
+	// population so the sketch tier carries the load).
+	FlowTableSize int
+	// Epsilon and Delta are the lean tier's error target. Defaults
+	// ε = 1e-4, δ = 0.01.
+	Epsilon, Delta float64
+	// DupTargetFP is the duplicate filter's design false-positive rate
+	// at the point's expected insert count. Default 1%.
+	DupTargetFP float64
+	// RetransEvery rewinds each flow's sequence cursor every N data
+	// segments, producing ground-truth loss events. Default 7.
+	RetransEvery int
+	// SampleFlows is the number of flows per point whose ground truth
+	// is tracked and audited. Default 128.
+	SampleFlows int
+	// Shards is the pipe count (0/1 = single pipe).
+	Shards int
+	Seed   uint64
+}
+
+func (c ScaleSweepConfig) withDefaults() ScaleSweepConfig {
+	if c.Scale.Factor == 0 {
+		c.Scale = Fast()
+	}
+	if len(c.FlowCounts) == 0 {
+		if c.Scale.Name == "paper" {
+			c.FlowCounts = []int{10_000, 100_000, 1_000_000}
+		} else {
+			c.FlowCounts = []int{10_000, 50_000, 200_000}
+		}
+	}
+	if c.PacketsPerFlow <= 0 {
+		c.PacketsPerFlow = 32
+	}
+	if c.FlowTableSize <= 0 {
+		c.FlowTableSize = 2048
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 1e-4
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.01
+	}
+	if c.DupTargetFP == 0 {
+		c.DupTargetFP = 0.01
+	}
+	if c.RetransEvery <= 0 {
+		c.RetransEvery = 7
+	}
+	if c.SampleFlows <= 0 {
+		c.SampleFlows = 128
+	}
+	return c
+}
+
+// ScalePoint is one sweep point's outcome.
+type ScalePoint struct {
+	// Flows and Packets describe the workload.
+	Flows, Packets int
+	// PPS and Gbps are the batch path's measured replay rates.
+	PPS, Gbps float64
+	// Admitted and Sketched split the audited sample by tier.
+	Admitted, Sketched int
+	// AliasedPackets and Evictions are the pipeline's merged counters
+	// after the run (evictions from the post-run aging sweep).
+	AliasedPackets, Evictions uint64
+	// ExactMemBytes and LeanMemBytes are the two tiers' storage
+	// footprints; BytesPerFlow divides their sum by the flow count.
+	ExactMemBytes, LeanMemBytes uint64
+	BytesPerFlow                float64
+	// PktsBound and BytesBound are the sketches' analytical ⌈ε·N⌉
+	// overcount caps at the end of the run; MaxPktsErr and MaxBytesErr
+	// the largest overcounts actually observed on sketch-tier samples.
+	PktsBound, BytesBound   uint64
+	MaxPktsErr, MaxBytesErr uint64
+
+	// Audit failures. A correct implementation keeps Undercounts,
+	// ExactMismatches and FoldErrors at zero always, and
+	// BoundViolations within the (ε, δ) allowance.
+	Undercounts     int // estimate below ground truth (violates CMS never-undercount)
+	ExactMismatches int // admitted flow whose exact counters differ from truth
+	BoundViolations int // sketch query overcounting beyond bound + dup-FP allowance
+	FoldErrors      int // evicted flow whose estimate no longer covers its history
+	// BoundAllowance is the violation budget: with δ per query and
+	// three audited queries per sketch-tier sample, a handful of
+	// excursions is expected noise, not a defect.
+	BoundAllowance int
+}
+
+// Pass reports whether the point met every analytical guarantee.
+func (p ScalePoint) Pass() bool {
+	return p.Undercounts == 0 && p.ExactMismatches == 0 &&
+		p.FoldErrors == 0 && p.BoundViolations <= p.BoundAllowance
+}
+
+// ScaleSweepResult is the whole sweep.
+type ScaleSweepResult struct {
+	Config ScaleSweepConfig
+	Points []ScalePoint
+}
+
+// Pass reports whether every point passed.
+func (r *ScaleSweepResult) Pass() bool {
+	for _, p := range r.Points {
+		if !p.Pass() {
+			return false
+		}
+	}
+	return len(r.Points) > 0
+}
+
+// flowTruth is one sampled flow's ground truth, tallied from a shadow
+// pass over the identical record stream.
+type flowTruth struct {
+	bytes, pkts, loss uint64
+	dataPkts          uint64
+	maxSeq            uint64
+}
+
+// synthSource builds the sweep point's workload. One constructor keeps
+// the measured run and the shadow truth pass byte-identical.
+func (c ScaleSweepConfig) synthSource(flows int) *replay.Synth {
+	return &replay.Synth{
+		Flows:        flows,
+		Packets:      flows * c.PacketsPerFlow,
+		MSS:          c.Scale.MSS,
+		RetransEvery: c.RetransEvery,
+	}
+}
+
+// recordKey packs a record's 5-tuple into the data plane's wire-format
+// flow key.
+func recordKey(r *replay.Record) dataplane.FlowKey {
+	var k dataplane.FlowKey
+	copy(k[0:4], r.SrcIP[:])
+	copy(k[4:8], r.DstIP[:])
+	k[8], k[9] = byte(r.SrcPort>>8), byte(r.SrcPort)
+	k[10], k[11] = byte(r.DstPort>>8), byte(r.DstPort)
+	k[12] = r.Proto
+	return k
+}
+
+// RunScaleSweep replays each flow population through a fresh pipeline
+// and audits the two-tier guarantees against sampled ground truth.
+func RunScaleSweep(cfg ScaleSweepConfig) *ScaleSweepResult {
+	cfg = cfg.withDefaults()
+	res := &ScaleSweepResult{Config: cfg}
+	for _, flows := range cfg.FlowCounts {
+		res.Points = append(res.Points, runScalePoint(cfg, flows))
+	}
+	return res
+}
+
+func runScalePoint(cfg ScaleSweepConfig, flows int) ScalePoint {
+	packets := flows * cfg.PacketsPerFlow
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	plane := dataplane.NewPipes(dataplane.Config{
+		FlowTableSize: cfg.FlowTableSize,
+		// The announce latch would exempt cells from aging; at sweep
+		// densities the long-flow CMS saturates, so disable it and let
+		// the post-run aging sweep evict every cell.
+		LongFlowBytes:    1 << 62,
+		SketchEpsilon:    cfg.Epsilon,
+		SketchDelta:      cfg.Delta,
+		DupFilterInserts: packets,
+		DupFilterFP:      cfg.DupTargetFP,
+	}, shards)
+
+	// Measured run: the full stream through the batch path.
+	run := replay.Runner{Plane: plane}.Run(cfg.synthSource(flows)) //p4:lint-exempt determinism: Runner's wall clock only stamps Result.Elapsed (the PPS/Gbps figures); every audited quantity is counter state
+
+	// Shadow pass: regenerate the identical stream and tally ground
+	// truth for a stride-sampled subset of forward (data-direction)
+	// flow keys. A data record whose sequence sits below the flow's
+	// running maximum is a retransmission — one true loss event in
+	// both tiers.
+	samples := cfg.SampleFlows
+	if samples > flows {
+		samples = flows
+	}
+	truth := make(map[dataplane.FlowKey]*flowTruth, samples)
+	var keys []dataplane.FlowKey
+	{
+		stride := flows / samples
+		shadow := cfg.synthSource(flows)
+		var rec replay.Record
+		// The sampled keys are discovered from the stream itself: the
+		// first `samples` distinct forward keys at the stride. Forward
+		// records carry DstPort 5201.
+		want := make(map[int]bool, samples)
+		for i := 0; i < samples; i++ {
+			want[i*stride] = true
+		}
+		flowOf := func(r *replay.Record) int {
+			// Inverse of the Synth addressing: low 16 bits from the
+			// host bytes, high bits from the source port offset.
+			return int(r.SrcIP[2])<<8 | int(r.SrcIP[3]) | (int(r.SrcPort) - 40000) << 16
+		}
+		for shadow.Next(&rec) {
+			if rec.Point != 0 || rec.DstPort != 5201 {
+				continue // egress copies and reverse ACKs carry no forward truth
+			}
+			f := flowOf(&rec)
+			if !want[f] {
+				continue
+			}
+			k := recordKey(&rec)
+			t := truth[k]
+			if t == nil {
+				t = &flowTruth{}
+				truth[k] = t
+				keys = append(keys, k)
+			}
+			t.bytes += uint64(rec.TotalLen)
+			t.pkts++
+			t.dataPkts++
+			if rec.Seq < t.maxSeq {
+				t.loss++
+			} else {
+				t.maxSeq = rec.Seq
+			}
+		}
+	}
+
+	pt := ScalePoint{
+		Flows:   flows,
+		Packets: packets,
+		PPS:     run.PPS(),
+		Gbps:    run.Gbps(),
+	}
+
+	// Audit pass 1, pre-eviction: tier split, exactness, bounds.
+	dupFP := 0.0
+	for i := 0; i < shards; i++ {
+		if r := plane.Shard(i).Lean().DupFPRate(); r > dupFP {
+			dupFP = r
+		}
+	}
+	var admittedKeys []dataplane.FlowKey
+	for _, k := range keys {
+		t := truth[k]
+		est := plane.EstimateFlow(k)
+		if est.Bytes < t.bytes || est.Pkts < t.pkts {
+			pt.Undercounts++
+		}
+		if est.Admitted {
+			pt.Admitted++
+			admittedKeys = append(admittedKeys, k)
+			if est.ExactBytes != t.bytes || est.ExactPkts != t.pkts || est.ExactLoss != t.loss {
+				pt.ExactMismatches++
+			}
+			continue
+		}
+		pt.Sketched++
+		// Loss can only undercount if the dup filter missed a
+		// duplicate, which it cannot.
+		if est.Loss < t.loss {
+			pt.Undercounts++
+			continue // the overcount math below assumes est >= truth
+		}
+		if est.Bytes < t.bytes || est.Pkts < t.pkts {
+			continue // already counted as an undercount above
+		}
+		if e := est.Bytes - t.bytes; e > pt.MaxBytesErr {
+			pt.MaxBytesErr = e
+		}
+		if e := est.Pkts - t.pkts; e > pt.MaxPktsErr {
+			pt.MaxPktsErr = e
+		}
+		if est.Bytes-t.bytes > est.BytesBound {
+			pt.BoundViolations++
+		}
+		if est.Pkts-t.pkts > est.PktsBound {
+			pt.BoundViolations++
+		}
+		// Loss additionally tolerates the dup filter's spurious
+		// positives at its analytical rate over this flow's inserts.
+		fpAllow := uint64(math.Ceil(dupFP*float64(t.dataPkts))) + 1
+		if est.Loss-t.loss > est.LossBound+fpAllow {
+			pt.BoundViolations++
+		}
+		pt.PktsBound, pt.BytesBound = est.PktsBound, est.BytesBound
+	}
+	// δ per query, three audited bound queries per sketch-tier sample;
+	// triple the expectation before calling noise a defect.
+	pt.BoundAllowance = int(math.Ceil(3*cfg.Delta*3*float64(pt.Sketched))) + 1
+
+	pt.ExactMemBytes = plane.FlowTableMemoryBytes()
+	pt.LeanMemBytes = plane.LeanMemoryBytes()
+	pt.BytesPerFlow = float64(pt.ExactMemBytes+pt.LeanMemBytes) / float64(flows)
+
+	// Audit pass 2: age every cell out (idle beyond the window) and
+	// verify the folds kept each admitted flow's history queryable.
+	plane.AgeFlows(simtime.Second<<32, simtime.Second)
+	for _, k := range admittedKeys {
+		t := truth[k]
+		est := plane.EstimateFlow(k)
+		if est.Admitted || est.Bytes < t.bytes || est.Pkts < t.pkts || est.Loss < t.loss {
+			pt.FoldErrors++
+		}
+	}
+	snap := plane.StatsSnapshot()
+	pt.AliasedPackets = snap.AliasedPackets
+	pt.Evictions = snap.Evictions
+	return pt
+}
+
+// Render draws the sweep as a fixed-width table plus verdict lines.
+func (r *ScaleSweepResult) Render() string {
+	var b strings.Builder
+	g := sketch.GeometryFor(r.Config.Epsilon, r.Config.Delta)
+	fmt.Fprintf(&b, "two-tier scale sweep: %d-cell exact tier + %dx%d sketch rows (ε=%.1e δ=%.2f)\n\n",
+		r.Config.FlowTableSize, g.Depth, g.Width, g.Epsilon, g.Delta)
+	fmt.Fprintf(&b, "%10s %10s %8s %7s %9s %9s %8s %11s %11s %6s\n",
+		"flows", "packets", "Mpps", "Gbps", "exactMem", "leanMem", "B/flow", "maxPktsErr", "pktsBound", "pass")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%10d %10d %8.2f %7.2f %8.1fM %8.1fM %8.1f %11d %11d %6v\n",
+			p.Flows, p.Packets, p.PPS/1e6, p.Gbps,
+			float64(p.ExactMemBytes)/1e6, float64(p.LeanMemBytes)/1e6,
+			p.BytesPerFlow, p.MaxPktsErr, p.PktsBound, p.Pass())
+	}
+	b.WriteByte('\n')
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%8d flows: %d/%d sampled admitted exact, %d sketched; aliased=%d evicted=%d undercnt=%d exactmis=%d boundviol=%d/%d fold=%d\n",
+			p.Flows, p.Admitted, p.Admitted+p.Sketched, p.Sketched,
+			p.AliasedPackets, p.Evictions,
+			p.Undercounts, p.ExactMismatches, p.BoundViolations, p.BoundAllowance, p.FoldErrors)
+	}
+	fmt.Fprintf(&b, "\nall analytical guarantees held: %v\n", r.Pass())
+	return b.String()
+}

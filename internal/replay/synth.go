@@ -37,6 +37,10 @@ type Synth struct {
 	// egress copies; it must stay below Spacing to keep timestamps
 	// monotonic.
 	EgressDelay simtime.Time
+	// FlowBase offsets the flow numbering used for addresses and
+	// ports, letting two Synths emit disjoint flow populations. Zero
+	// keeps the original numbering.
+	FlowBase int
 
 	n        int
 	flow     int
@@ -107,9 +111,15 @@ func (s *Synth) Next(r *Record) bool {
 	}
 	s.at += uint64(s.Spacing)
 
-	// Flow f's endpoints: 10.0.x.y -> 10.1.x.y, iperf3-style ports.
-	src := [4]byte{10, 0, byte(f >> 8), byte(f)}
-	dst := [4]byte{10, 1, byte(f >> 8), byte(f)}
+	// Flow g's endpoints: 10.0.x.y -> 10.1.x.y with the low 16 bits of
+	// the flow number in the host bytes and any higher bits folded into
+	// the iperf3-style source port, so flows stay pairwise-distinct
+	// 5-tuples past 65536 of them while numbers below 2^16 keep the
+	// original byte-identical addressing (port 40000).
+	g := f + s.FlowBase
+	src := [4]byte{10, 0, byte(g >> 8), byte(g)}
+	dst := [4]byte{10, 1, byte(g >> 8), byte(g)}
+	port := uint16(40000 + g>>16)
 
 	if s.sinceAck[f] >= uint64(s.AckEvery) {
 		s.sinceAck[f] = 0
@@ -120,7 +130,7 @@ func (s *Synth) Next(r *Record) bool {
 			SrcIP:   dst,
 			DstIP:   src,
 			SrcPort: 5201,
-			DstPort: 40000,
+			DstPort: port,
 			// IPv4 + TCP headers only.
 			TotalLen: 40,
 			IPID:     s.ipid[f],
@@ -147,7 +157,7 @@ func (s *Synth) Next(r *Record) bool {
 		Seq:      seq,
 		SrcIP:    src,
 		DstIP:    dst,
-		SrcPort:  40000,
+		SrcPort:  port,
 		DstPort:  5201,
 		TotalLen: uint16(40 + s.MSS),
 		IPID:     s.ipid[f],

@@ -1,0 +1,435 @@
+// Package sketch provides the memory-bounded ("lean") telemetry tier:
+// count-min sketches with explicit (ε, δ) error bounds for per-flow
+// byte, packet and loss counting, plus a Bloom dup-filter that detects
+// TCP retransmissions without per-flow sequence state. The structures
+// follow Liu et al.'s Lean Algorithms (PAPERS.md): where the exact
+// register tier (internal/dataplane) dedicates cells to heavy hitters,
+// the lean tier absorbs every other flow — and every evicted flow — in
+// O(1/ε · ln 1/δ) memory independent of the flow count.
+//
+// Every update path is pure array arithmetic over preallocated storage
+// (the p4:hotpath contract): no allocation, no locking, no stdlib hash
+// interface. Accuracy guarantees, per key k with true count a(k) and N
+// total inserted count:
+//
+//	Estimate(k) ≥ a(k)                               (never undercounts)
+//	P[ Estimate(k) > a(k) + ε·N ] ≤ δ                (CMS, Cormode & Muthukrishnan)
+//
+// The dup filter never misses a duplicate it has admitted (no false
+// negatives absent an explicit Clear); its false positives overcount
+// loss at the analytically-computable rate FPRate returns.
+package sketch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Key is the packed wire-format 5-tuple the sketches index by — the
+// same 13-byte layout as dataplane.FlowKey (src IP, dst IP, src port,
+// dst port, protocol, network byte order), so the data plane converts
+// between the two for free.
+type Key [13]byte
+
+// mix64 is the splitmix64 finalizer: an invertible avalanche over one
+// 64-bit word. Unlike the CRC32 the exact tier uses for flow IDs, it
+// never escapes its argument to an interface, keeping sketch updates
+// allocation-free.
+//
+// p4:hotpath
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashRow hashes the key under a row seed: the 13 bytes load as one
+// 64-bit word plus a 40-bit tail, each folded through the splitmix64
+// finalizer. Distinct seeds emulate the independent hash units a
+// hardware sketch dedicates per row.
+//
+// p4:hotpath
+func (k *Key) hashRow(seed uint64) uint64 {
+	lo := binary.LittleEndian.Uint64(k[0:8])
+	hi := uint64(k[8]) | uint64(k[9])<<8 | uint64(k[10])<<16 |
+		uint64(k[11])<<24 | uint64(k[12])<<32
+	x := mix64(lo ^ (seed * 0x9e3779b97f4a7c15))
+	return mix64(x ^ hi)
+}
+
+// Geometry is a sketch's shape together with the error guarantee it
+// delivers. Width and Depth are the physical dimensions; Epsilon and
+// Delta are the bound the dimensions actually achieve (which is at
+// least as tight as what was requested, since dimensions round up).
+type Geometry struct {
+	// Width is the number of counters per row: ⌈e/ε⌉ for a requested ε.
+	Width int
+	// Depth is the number of independent hash rows: ⌈ln(1/δ)⌉ for a
+	// requested δ.
+	Depth int
+	// Epsilon is the delivered relative error: overcount ≤ ε·N where N
+	// is the total count inserted across all keys.
+	Epsilon float64
+	// Delta is the delivered failure probability of the ε bound for any
+	// single query.
+	Delta float64
+}
+
+// GeometryFor derives the smallest geometry meeting a requested
+// (ε, δ) bound: width = ⌈e/ε⌉, depth = ⌈ln(1/δ)⌉, then recomputes the
+// delivered bound from the rounded-up dimensions (ε' = e/width,
+// δ' = e^-depth).
+func GeometryFor(epsilon, delta float64) Geometry {
+	if !(epsilon > 0 && epsilon < 1) || math.IsNaN(epsilon) {
+		panic(fmt.Sprintf("sketch: epsilon %g out of range (0,1)", epsilon))
+	}
+	if !(delta > 0 && delta < 1) || math.IsNaN(delta) {
+		panic(fmt.Sprintf("sketch: delta %g out of range (0,1)", delta))
+	}
+	g := Geometry{
+		Width: int(math.Ceil(math.E / epsilon)),
+		Depth: int(math.Ceil(math.Log(1 / delta))),
+	}
+	if g.Depth < 1 {
+		g.Depth = 1
+	}
+	g.Epsilon = math.E / float64(g.Width)
+	g.Delta = math.Exp(-float64(g.Depth))
+	return g
+}
+
+// CMS is a count-min sketch with its analytical error bound attached.
+// Rows are stored flat (depth × width) for cache locality; row seeds
+// are fixed at construction so two sketches with the same geometry
+// index identically (what lets the sharded data plane sum estimates
+// across pipes).
+type CMS struct {
+	width uint64
+	depth int
+	rows  []uint64 // flat: rows[r*width : (r+1)*width]
+	seeds []uint64
+	total uint64 // total count inserted (the N of the ε·N bound)
+	geom  Geometry
+}
+
+// NewCMS builds a sketch with the given geometry (use GeometryFor to
+// derive one from a requested bound).
+func NewCMS(g Geometry) *CMS {
+	if g.Width <= 0 || g.Depth <= 0 {
+		panic(fmt.Sprintf("sketch: invalid CMS geometry %dx%d", g.Width, g.Depth))
+	}
+	c := &CMS{
+		width: uint64(g.Width),
+		depth: g.Depth,
+		rows:  make([]uint64, g.Width*g.Depth),
+		seeds: make([]uint64, g.Depth),
+		geom:  g,
+	}
+	for r := range c.seeds {
+		c.seeds[r] = mix64(uint64(r) + 0x6a09e667f3bcc909)
+	}
+	return c
+}
+
+// Geometry returns the sketch's shape and delivered (ε, δ) bound.
+func (c *CMS) Geometry() Geometry { return c.geom }
+
+// Update adds count to the key's counters in every row.
+//
+// p4:hotpath
+func (c *CMS) Update(k *Key, count uint64) {
+	base := uint64(0)
+	for r := 0; r < c.depth; r++ {
+		c.rows[base+k.hashRow(c.seeds[r])%c.width] += count
+		base += c.width
+	}
+	c.total += count
+}
+
+// Estimate returns the key's count estimate: the minimum across rows.
+// Never below the true count; above it by more than ErrorBound with
+// probability at most Geometry().Delta.
+//
+// p4:hotpath
+func (c *CMS) Estimate(k *Key) uint64 {
+	est := ^uint64(0)
+	base := uint64(0)
+	for r := 0; r < c.depth; r++ {
+		if v := c.rows[base+k.hashRow(c.seeds[r])%c.width]; v < est {
+			est = v
+		}
+		base += c.width
+	}
+	return est
+}
+
+// Total returns the total count inserted since construction (or the
+// last Clear) — the N the ε·N bound scales with.
+func (c *CMS) Total() uint64 { return c.total }
+
+// ErrorBound returns the current analytical overcount bound ⌈ε·N⌉:
+// any single Estimate exceeds the true count by more than this with
+// probability at most Geometry().Delta.
+func (c *CMS) ErrorBound() uint64 {
+	return uint64(math.Ceil(c.geom.Epsilon * float64(c.total)))
+}
+
+// MemoryBytes returns the sketch's counter storage footprint.
+func (c *CMS) MemoryBytes() uint64 { return uint64(len(c.rows)) * 8 }
+
+// Clear zeroes every counter and the total. The never-undercount
+// property restarts from the clear.
+func (c *CMS) Clear() {
+	for i := range c.rows {
+		c.rows[i] = 0
+	}
+	c.total = 0
+}
+
+// DupFilter is a Bloom filter over (flow key, sequence number) pairs:
+// the lean tier's retransmission detector. A TCP data packet whose
+// (key, seq) was already admitted is a duplicate — evidence of loss —
+// without any per-flow sequence register. No false negatives absent a
+// Clear; false positives (spurious loss counts) occur at the rate
+// FPRate computes from the actual insert count.
+type DupFilter struct {
+	bits    []uint64
+	mask    uint64 // bit-index mask (len(bits)*64 - 1, power of two)
+	hashes  int
+	inserts uint64
+}
+
+// NewDupFilter sizes a filter for an expected number of inserts at a
+// target false-positive rate: m = ⌈-n·ln(p)/ln²2⌉ bits rounded up to a
+// power of two, k = round(m/n · ln 2) hash probes.
+func NewDupFilter(expectedInserts int, targetFP float64) *DupFilter {
+	if expectedInserts <= 0 {
+		expectedInserts = 1 << 20
+	}
+	if !(targetFP > 0 && targetFP < 1) || math.IsNaN(targetFP) {
+		panic(fmt.Sprintf("sketch: dup-filter target FP %g out of range (0,1)", targetFP))
+	}
+	n := float64(expectedInserts)
+	mBits := math.Ceil(-n * math.Log(targetFP) / (math.Ln2 * math.Ln2))
+	logBits := int(math.Ceil(math.Log2(mBits)))
+	if logBits < 9 {
+		logBits = 9 // floor: one cache line of bits
+	}
+	k := int(math.Round(float64(uint64(1)<<logBits) / n * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	// Cap the derived probe count at 8: beyond that the FP gain is
+	// marginal but every data packet pays the extra probes (the warm
+	// insert on the admitted path makes this a hot-path cost).
+	if k > 8 {
+		k = 8
+	}
+	return NewDupFilterBits(logBits, k)
+}
+
+// NewDupFilterBits builds a filter with 2^logBits bits and the given
+// probe count directly.
+func NewDupFilterBits(logBits, hashes int) *DupFilter {
+	if logBits < 6 || logBits > 40 {
+		panic(fmt.Sprintf("sketch: dup-filter logBits %d out of range 6..40", logBits))
+	}
+	if hashes < 1 || hashes > 16 {
+		panic(fmt.Sprintf("sketch: dup-filter hashes %d out of range 1..16", hashes))
+	}
+	size := uint64(1) << logBits
+	return &DupFilter{
+		bits:   make([]uint64, size/64),
+		mask:   size - 1,
+		hashes: hashes,
+	}
+}
+
+// TestAndSet reports whether (k, seq) was already present, inserting
+// it either way. Double hashing (Kirsch–Mitzenmacher) derives all
+// probe positions from two mixes of the pair.
+//
+// p4:hotpath
+func (f *DupFilter) TestAndSet(k *Key, seq uint64) bool {
+	h1 := k.hashRow(seq)
+	h2 := mix64(h1) | 1
+	seen := true
+	for i := 0; i < f.hashes; i++ {
+		bit := (h1 + uint64(i)*h2) & f.mask
+		word, shift := bit>>6, bit&63
+		if f.bits[word]&(1<<shift) == 0 {
+			seen = false
+			f.bits[word] |= 1 << shift
+		}
+	}
+	f.inserts++
+	return seen
+}
+
+// Inserts returns the number of TestAndSet calls since construction or
+// the last Clear.
+func (f *DupFilter) Inserts() uint64 { return f.inserts }
+
+// FPRate returns the analytical false-positive probability at the
+// current fill: (1 - e^(-k·n/m))^k with n the actual insert count.
+func (f *DupFilter) FPRate() float64 {
+	m := float64(f.mask + 1)
+	n := float64(f.inserts)
+	k := float64(f.hashes)
+	return math.Pow(1-math.Exp(-k*n/m), k)
+}
+
+// MemoryBytes returns the filter's bit-array footprint.
+func (f *DupFilter) MemoryBytes() uint64 { return uint64(len(f.bits)) * 8 }
+
+// Clear zeroes the filter. Duplicates spanning a clear go undetected —
+// the windowing trade-off Lean Algorithms accepts when the filter is
+// reset per measurement epoch.
+func (f *DupFilter) Clear() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.inserts = 0
+}
+
+// Config parameterises a Lean bundle. The zero value defaults to
+// ε = 1e-3, δ = 0.01 for the counting sketches and a dup filter sized
+// for 4M inserts at 1% false positives.
+type Config struct {
+	// Epsilon and Delta bound the byte/packet/loss sketches'
+	// overcount: ≤ ε·N with probability ≥ 1-δ per query.
+	Epsilon, Delta float64
+	// DupExpectedInserts sizes the retransmission dup filter for the
+	// TCP data packets one measurement window is expected to carry.
+	DupExpectedInserts int
+	// DupTargetFP is the dup filter's design false-positive rate at
+	// DupExpectedInserts.
+	DupTargetFP float64
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Epsilon == 0 {
+		c.Epsilon = 1e-3
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.01
+	}
+	if c.DupExpectedInserts == 0 {
+		c.DupExpectedInserts = 4 << 20
+	}
+	if c.DupTargetFP == 0 {
+		c.DupTargetFP = 0.01
+	}
+	return c
+}
+
+// Lean bundles the lean tier's structures: byte, packet and loss
+// sketches sharing one geometry, plus the retransmission dup filter.
+// It is what a data-plane pipe updates for every packet the exact
+// register tier did not admit, and what evicted exact-tier flows fold
+// into.
+type Lean struct {
+	bytes, pkts, loss *CMS
+	dup               *DupFilter
+	cfg               Config
+}
+
+// NewLean builds the bundle (zero-value cfg = package defaults).
+func NewLean(cfg Config) *Lean {
+	cfg = cfg.withDefaults()
+	g := GeometryFor(cfg.Epsilon, cfg.Delta)
+	return &Lean{
+		bytes: NewCMS(g),
+		pkts:  NewCMS(g),
+		loss:  NewCMS(g),
+		dup:   NewDupFilter(cfg.DupExpectedInserts, cfg.DupTargetFP),
+		cfg:   cfg,
+	}
+}
+
+// Geometry returns the counting sketches' shared geometry.
+func (l *Lean) Geometry() Geometry { return l.bytes.Geometry() }
+
+// Observe counts one packet of wireBytes for the key.
+//
+// p4:hotpath
+func (l *Lean) Observe(k *Key, wireBytes uint64) {
+	l.bytes.Update(k, wireBytes)
+	l.pkts.Update(k, 1)
+}
+
+// SeenSeq records a TCP data packet's (key, seq) in the dup filter and
+// reports whether it was already present — a retransmission (or a
+// filter false positive).
+//
+// p4:hotpath
+func (l *Lean) SeenSeq(k *Key, seq uint64) bool {
+	return l.dup.TestAndSet(k, seq)
+}
+
+// CountLoss adds one loss event for the key.
+//
+// p4:hotpath
+func (l *Lean) CountLoss(k *Key) {
+	l.loss.Update(k, 1)
+}
+
+// Fold adds a flow's exact-tier totals into the sketches — the
+// eviction path: the flow's history must survive its register cells.
+func (l *Lean) Fold(k *Key, bytes, pkts, loss uint64) {
+	if bytes > 0 {
+		l.bytes.Update(k, bytes)
+	}
+	if pkts > 0 {
+		l.pkts.Update(k, pkts)
+	}
+	if loss > 0 {
+		l.loss.Update(k, loss)
+	}
+}
+
+// Estimate returns the key's byte, packet and loss estimates.
+//
+// p4:hotpath
+func (l *Lean) Estimate(k *Key) (bytes, pkts, loss uint64) {
+	return l.bytes.Estimate(k), l.pkts.Estimate(k), l.loss.Estimate(k)
+}
+
+// Bounds returns the current analytical overcount bounds (⌈ε·N⌉ per
+// sketch, each holding with probability ≥ 1-δ).
+func (l *Lean) Bounds() (bytes, pkts, loss uint64) {
+	return l.bytes.ErrorBound(), l.pkts.ErrorBound(), l.loss.ErrorBound()
+}
+
+// Totals returns each sketch's inserted total (the N of its bound).
+func (l *Lean) Totals() (bytes, pkts, loss uint64) {
+	return l.bytes.Total(), l.pkts.Total(), l.loss.Total()
+}
+
+// DupFPRate returns the dup filter's analytical false-positive rate at
+// its current fill — the rate at which fresh data packets spuriously
+// count as losses.
+func (l *Lean) DupFPRate() float64 { return l.dup.FPRate() }
+
+// MemoryBytes returns the bundle's total storage footprint.
+func (l *Lean) MemoryBytes() uint64 {
+	return l.bytes.MemoryBytes() + l.pkts.MemoryBytes() +
+		l.loss.MemoryBytes() + l.dup.MemoryBytes()
+}
+
+// ClearWindow resets the dup filter only — the per-epoch windowing of
+// Lean Algorithms. The counting sketches (and their bounds) persist.
+func (l *Lean) ClearWindow() { l.dup.Clear() }
+
+// Clear resets everything: sketches, totals and the dup filter.
+func (l *Lean) Clear() {
+	l.bytes.Clear()
+	l.pkts.Clear()
+	l.loss.Clear()
+	l.dup.Clear()
+}
