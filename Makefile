@@ -96,10 +96,21 @@ scale:
 	$(GO) test -race -timeout 30m -run 'TestScaleSweep' ./internal/experiments
 	$(GO) run ./cmd/p4psonar run scale
 
-# docs keeps the prose honest: every make target and CLI flag named in
-# the documentation's code blocks must exist (Makefile targets, flag
-# registrations in cmd/). CI's docs job runs this.
+# federation runs the fleet scenario end to end: the CI-sized 2×2
+# topology under -race (registration, fan-out, member-kill/rejoin,
+# exact cross-site accounting, byte-stable witness), then the CLI
+# wiring through cmd/p4psonar. The nightly workflow runs the
+# 10-switch -paper topology.
+federation:
+	$(GO) test -race -timeout 10m -run 'TestRunFederation|TestFederationPaper' ./internal/experiments
+	$(GO) test -race -timeout 10m -run 'TestMembership|TestServeShutdown' ./internal/p4runtime
+	$(GO) run ./cmd/p4psonar run federation
+
+# docs keeps the prose honest: every make target, CLI flag and obs
+# metric name in the documentation's code regions must exist (Makefile
+# targets, flag registrations in cmd/, the generated metrics
+# inventory). CI's docs job runs this.
 docs:
-	$(GO) run ./cmd/docscheck README.md ARCHITECTURE.md EXPERIMENTS.md
+	$(GO) run ./cmd/docscheck README.md ARCHITECTURE.md EXPERIMENTS.md OPERATIONS.md DESIGN.md
 
 ci: build vet test race lint lint-deep docs

@@ -9,11 +9,21 @@
 // target the Makefile lacks, or any -flag/--flag on a command line
 // whose binary does not register it.
 //
+// It also generates a metrics inventory: every "p4_..." string
+// literal in the non-test Go sources is a registered metric name (or,
+// for fleet deployments, a registration prefix like "p4_shipper"), and
+// every p4_-shaped token in the documentation must resolve against
+// that inventory — exactly, or as <prefix>_<suffix> for prefix-
+// registered families and histogram _bucket/_sum/_count expansions.
+// This closes the drift class where docs keep referencing a renamed
+// gauge.
+//
 // Usage:
 //
-//	docscheck [-makefile Makefile] [-cmd-dir cmd] [file.md ...]
+//	docscheck [-makefile Makefile] [-cmd-dir cmd] [-metrics-src internal,cmd] [file.md ...]
 //
-// Without file arguments it checks README.md and ARCHITECTURE.md.
+// Without file arguments it checks README.md, ARCHITECTURE.md and
+// OPERATIONS.md.
 // Exit status is 1 when any reference is stale, making it suitable as
 // a CI gate (the docs job runs `make docs`).
 package main
@@ -35,10 +45,11 @@ import (
 func main() {
 	makefile := flag.String("makefile", "Makefile", "Makefile to harvest targets from")
 	cmdDir := flag.String("cmd-dir", "cmd", "directory holding the command packages")
+	metricsSrc := flag.String("metrics-src", "internal,cmd", "comma-separated source trees to harvest the metrics inventory from")
 	flag.Parse()
 	docs := flag.Args()
 	if len(docs) == 0 {
-		docs = []string{"README.md", "ARCHITECTURE.md"}
+		docs = []string{"README.md", "ARCHITECTURE.md", "OPERATIONS.md"}
 	}
 
 	targets, err := makefileTargets(*makefile)
@@ -51,6 +62,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "docscheck:", err)
 		os.Exit(2)
 	}
+	metrics, err := metricsInventory(strings.Split(*metricsSrc, ","))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(2)
+	}
 
 	var problems []string
 	for _, doc := range docs {
@@ -59,7 +75,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "docscheck:", err)
 			os.Exit(2)
 		}
-		problems = append(problems, checkDoc(doc, string(data), targets, cmds)...)
+		problems = append(problems, checkDoc(doc, string(data), targets, cmds, metrics)...)
 	}
 	for _, p := range problems {
 		fmt.Println(p)
@@ -73,8 +89,8 @@ func main() {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	fmt.Printf("docscheck: ok (%d make targets, %d commands: %s)\n",
-		len(targets), len(names), strings.Join(names, " "))
+	fmt.Printf("docscheck: ok (%d make targets, %d metric names, %d commands: %s)\n",
+		len(targets), len(metrics), len(names), strings.Join(names, " "))
 }
 
 // makefileTargets returns the set of rule targets declared in the
@@ -191,6 +207,79 @@ func flagCallName(call *ast.CallExpr) (string, bool) {
 	return s, true
 }
 
+// metricLiteralRe matches the leading metric-shaped run of a string
+// literal: the repo's metric namespace is "p4_" + lowercase snake.
+// Matching the prefix rather than the whole literal also harvests
+// format-built families ("p4_pipes_shard%d_" → p4_pipes_shard).
+var metricLiteralRe = regexp.MustCompile(`"(p4_[a-z0-9_]+)`)
+
+// metricsInventory harvests every metric-shaped string literal from
+// the non-test Go sources under dirs. The result is the generated
+// inventory documented metric names are verified against: literals
+// registered whole (p4_fed_members) and prefixes handed to
+// prefix-parameterised registrations (p4_shipper → the per-member
+// p4_shipper_<site>_<switch>_* families).
+func metricsInventory(dirs []string) (map[string]bool, error) {
+	inv := map[string]bool{}
+	for _, dir := range dirs {
+		dir = strings.TrimSpace(dir)
+		if dir == "" {
+			continue
+		}
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			for _, m := range metricLiteralRe.FindAllStringSubmatch(string(data), -1) {
+				inv[strings.TrimRight(m[1], "_")] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return inv, nil
+}
+
+// docMetricRe finds metric-shaped tokens inside documentation code
+// regions, including glob-style family references (p4_fed_*).
+var docMetricRe = regexp.MustCompile(`\bp4_[a-z0-9_]+\*?`)
+
+// knownMetric reports whether a documented metric name resolves
+// against the inventory: exactly; as a suffixed expansion of a
+// registered name or prefix (prefix-parameterised shipper families,
+// histogram _bucket/_sum/_count series); or, for a glob family
+// reference like "p4_fed_*", when at least one registered name
+// carries the prefix.
+func knownMetric(name string, metrics map[string]bool) bool {
+	if glob, ok := strings.CutSuffix(name, "*"); ok {
+		for m := range metrics {
+			if strings.HasPrefix(m, glob) {
+				return true
+			}
+		}
+		return false
+	}
+	name = strings.TrimRight(name, "_")
+	if metrics[name] {
+		return true
+	}
+	for i := strings.LastIndexByte(name, '_'); i > 0; i = strings.LastIndexByte(name[:i], '_') {
+		if metrics[name[:i]] {
+			return true
+		}
+	}
+	return false
+}
+
 // codeRegion is one checkable chunk of a markdown file: a line of a
 // fenced code block or the contents of an inline `span`.
 type codeRegion struct {
@@ -244,13 +333,19 @@ func stripComment(line string) string {
 }
 
 // checkDoc validates every code region of one document against the
-// harvested make targets and per-command flag sets.
-func checkDoc(file, doc string, targets map[string]bool, cmds map[string]map[string]bool) []string {
+// harvested make targets, per-command flag sets and the metrics
+// inventory.
+func checkDoc(file, doc string, targets map[string]bool, cmds map[string]map[string]bool, metrics map[string]bool) []string {
 	var problems []string
 	for _, region := range codeRegions(doc) {
 		// Pipelines and && chains carry independent command contexts.
 		for _, segment := range splitSegments(region.text) {
 			problems = append(problems, checkSegment(file, region.line, segment, targets, cmds)...)
+		}
+		for _, name := range docMetricRe.FindAllString(region.text, -1) {
+			if !knownMetric(name, metrics) {
+				problems = append(problems, fmt.Sprintf("%s:%d: metric %q not in the registered-metrics inventory", file, region.line, name))
+			}
 		}
 	}
 	return problems

@@ -136,7 +136,7 @@ func TestCheckDoc(t *testing.T) {
 		"go test -race ./...\n" +
 		"```\n" +
 		"Inline `make lint`, `make nope`, `-shards`, and `-missing` too.\n"
-	problems := checkDoc("doc.md", doc, targets, cmds)
+	problems := checkDoc("doc.md", doc, targets, cmds, nil)
 	var got []string
 	for _, p := range problems {
 		got = append(got, p)
@@ -184,5 +184,66 @@ func TestCheckSegmentContextRules(t *testing.T) {
 	// Optional-argument brackets are stripped.
 	if p := checkSegment("d", 1, "tool [-addr :1]", targets, cmds); len(p) != 0 {
 		t.Errorf("bracket stripping failed: %v", p)
+	}
+}
+
+func TestMetricsInventory(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "src", "obs.go"), `package x
+
+const whole = "p4_fed_members"
+
+func reg() {
+	gauge("p4_dataplane_rtt_ns", 0)
+	registerAs("p4_shipper_") // registration prefix
+}
+`)
+	// Test files must not contribute scrape names.
+	writeFile(t, filepath.Join(dir, "src", "obs_test.go"), `package x
+
+const testOnly = "p4_test_only_metric"
+`)
+	inv, err := metricsInventory([]string{filepath.Join(dir, "src")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"p4_fed_members", "p4_dataplane_rtt_ns", "p4_shipper"} {
+		if !inv[want] {
+			t.Errorf("inventory missing %q (got %v)", want, inv)
+		}
+	}
+	if inv["p4_test_only_metric"] {
+		t.Error("test-file literal harvested")
+	}
+}
+
+func TestKnownMetric(t *testing.T) {
+	inv := map[string]bool{"p4_fed_members": true, "p4_shipper": true, "p4_dataplane_rtt_ns": true}
+	for _, ok := range []string{
+		"p4_fed_members",               // exact
+		"p4_shipper_alpha_sw1_emitted", // prefix-registered family
+		"p4_dataplane_rtt_ns_bucket",   // histogram expansion
+		"p4_shipper_",                  // prose naming the family by prefix
+		"p4_fed_*",                     // glob family reference
+		"p4_dataplane_*",               // glob matching a longer name
+	} {
+		if !knownMetric(ok, inv) {
+			t.Errorf("%q should resolve", ok)
+		}
+	}
+	for _, bad := range []string{"p4_fed_member_count", "p4_gone", "p4_shippers_emitted", "p4_missing_*"} {
+		if knownMetric(bad, inv) {
+			t.Errorf("%q should not resolve", bad)
+		}
+	}
+}
+
+func TestCheckDocMetrics(t *testing.T) {
+	inv := map[string]bool{"p4_fed_members": true, "p4_shipper": true}
+	doc := "Watch `p4_fed_members` and the `p4_shipper_site_sw_emitted` family.\n" +
+		"But `p4_fed_memberz` was renamed.\n"
+	problems := checkDoc("doc.md", doc, nil, map[string]map[string]bool{}, inv)
+	if len(problems) != 1 || !strings.Contains(problems[0], `"p4_fed_memberz"`) {
+		t.Fatalf("problems = %v", problems)
 	}
 }

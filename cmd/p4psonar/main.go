@@ -131,6 +131,32 @@ func main() {
 				return err
 			}
 			fmt.Println(r.Render())
+		case "federation":
+			// Fast is the CI-sized 2×2 fleet; -paper the 10-switch,
+			// 210k-flow multi-site topology from EXPERIMENTS.md.
+			spool, err := os.MkdirTemp("", "p4-fed-spool-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(spool)
+			fcfg := experiments.FederationConfig{SpoolRoot: spool, Seed: *seed}
+			if *paper {
+				fcfg = experiments.FederationPaper(spool)
+				fcfg.Seed = *seed
+			}
+			r, err := experiments.RunFederation(fcfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r.Render())
+			if *out != "" {
+				if err := r.SaveCSV(*out); err != nil {
+					return err
+				}
+			}
+			if !r.Pass() {
+				return fmt.Errorf("federation violated its accounting invariants")
+			}
 		case "scale":
 			// Fast sweeps to 200k flows; -paper to the full 1M-flow
 			// point the nightly workflow records.
@@ -173,5 +199,5 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: p4psonar run [-paper] [-shards N] [-out DIR] [-seed N] [-cpuprofile F] [-memprofile F] [-obs-addr ADDR] table1|fig9|fig10|fig11|fig12|fig13|fig14|coexistence|reconfig|scale|all`)
+	fmt.Fprintln(os.Stderr, `usage: p4psonar run [-paper] [-shards N] [-out DIR] [-seed N] [-cpuprofile F] [-memprofile F] [-obs-addr ADDR] table1|fig9|fig10|fig11|fig12|fig13|fig14|coexistence|reconfig|scale|federation|all`)
 }

@@ -89,6 +89,15 @@ type Report struct {
 	Kind   string `json:"kind"`
 	TimeNs int64  `json:"time_ns"`
 
+	// Member identity (fleet deployments, DESIGN.md §5.9): which site
+	// and which switch produced this report. Stamped by IdentitySink on
+	// the way out of the control plane; empty in single-switch runs, so
+	// single-switch report streams are byte-identical to pre-federation
+	// ones. The shared archiver groups documents by these fields for
+	// cross-site aggregation (psarchiver.CrossSite).
+	SiteID   string `json:"site_id,omitempty"`
+	SwitchID string `json:"switch_id,omitempty"`
+
 	// Flow identity (metric, flow_summary, limitation kinds).
 	FlowID  string `json:"flow_id,omitempty"` // hex hash of the 5-tuple
 	RevID   string `json:"rev_id,omitempty"`  // hex reversed-hash

@@ -1,0 +1,672 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/controlplane"
+	"repro/internal/dataplane"
+	"repro/internal/faultnet"
+	"repro/internal/federation"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/p4runtime"
+	"repro/internal/psarchiver"
+	"repro/internal/psconfig"
+	"repro/internal/replay"
+	"repro/internal/resilient"
+	"repro/internal/simtime"
+)
+
+// This file implements the fleet federation experiment (DESIGN.md
+// §5.9): N simulated switches across multiple sites — each its own
+// dataplane.Pipes fed by the replay front-end, its own identity-
+// stamping report path and resilient shipper — registering with one
+// federation coordinator and shipping into one shared archiver. The
+// run asserts the fleet-wide exact-accounting invariant member by
+// member,
+//
+//	archived(m) == emitted(m) − dropped(m) − fallback(m)   for every m
+//	Σ archived(m) == pipeline received == store documents
+//
+// exercises fan-out reconfiguration through the real psconfig wire
+// channel with per-member generation tracking, and runs a member-kill
+// chaos phase: one switch is partitioned mid-run (archiver and config
+// channels refuse, heartbeats stop), is suspected and declared dead on
+// the coordinator's deadlines, keeps measuring and spooling
+// autonomously, then rejoins with a stale config generation — the
+// coordinator reconciles it from the fleet command log and its spooled
+// reports replay into the archiver, after which the accounting still
+// balances exactly and the Witness is byte-stable at a fixed seed.
+
+// FedSite describes one site of the fleet topology.
+type FedSite struct {
+	// Name is the site identity (stamped into reports as site_id).
+	Name string
+	// Switches is the number of tap points at this site. Switches of
+	// one site observe the same flow population — they model tap
+	// points along the same site path, so the shared archiver can join
+	// per-flow observations across them.
+	Switches int
+}
+
+// FederationConfig parameterises the federation scenario.
+type FederationConfig struct {
+	// Sites is the fleet topology. Default: 2 sites × 2 switches (the
+	// CI-sized fleet). FederationPaper selects the 10-switch fleet.
+	Sites []FedSite
+	// FlowsPerSite is each site's concurrent flow population; sites
+	// are pairwise disjoint, so the fleet total is len(Sites) ×
+	// FlowsPerSite. Default 2000.
+	FlowsPerSite int
+	// PacketsPerFlow is the average TAP records per flow over the whole
+	// run (default 8).
+	PacketsPerFlow int
+	// Rounds splits each member's replay stream into extraction rounds,
+	// one simulated second apart (default 8; minimum 8 so the chaos
+	// timeline fits).
+	Rounds int
+	// SampleFlows is how many flows per member get per-round flow
+	// summaries (default 64).
+	SampleFlows int
+	// SpoolRoot is where per-member disk spools live. Required — the
+	// chaos phase exercises the disk tier.
+	SpoolRoot string
+	Seed      uint64
+	// Obs, when set, receives the coordinator's fleet gauges, the
+	// shared pipeline counters and each member shipper's ladder group
+	// (prefixed p4_shipper_<site>_<switch>).
+	Obs *obs.Registry
+}
+
+func (c FederationConfig) withDefaults() FederationConfig {
+	if len(c.Sites) == 0 {
+		c.Sites = []FedSite{{Name: "alpha", Switches: 2}, {Name: "beta", Switches: 2}}
+	}
+	if c.FlowsPerSite <= 0 {
+		c.FlowsPerSite = 2000
+	}
+	if c.PacketsPerFlow <= 0 {
+		c.PacketsPerFlow = 8
+	}
+	if c.Rounds < 8 {
+		c.Rounds = 8
+	}
+	if c.SampleFlows <= 0 {
+		c.SampleFlows = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// FederationPaper is the full-scale topology: 10 switches across 3
+// sites driving hundreds of thousands of concurrent flows (3 × 70k).
+func FederationPaper(spoolRoot string) FederationConfig {
+	return FederationConfig{
+		Sites: []FedSite{
+			{Name: "alpha", Switches: 4},
+			{Name: "beta", Switches: 3},
+			{Name: "gamma", Switches: 3},
+		},
+		FlowsPerSite: 70_000,
+		SpoolRoot:    spoolRoot,
+	}
+}
+
+// MemberAccounting is one member's end-of-run ledger.
+type MemberAccounting struct {
+	Site, Switch string
+	// Emitted counts reports stamped and handed to the member's
+	// shipper; Archived the documents the shared store attributes to
+	// this member.
+	Emitted  uint64
+	Archived uint64
+	// ConfigSeq is the member's final config generation.
+	ConfigSeq uint64
+	// Ship is the member shipper's final counter snapshot.
+	Ship resilient.Stats
+}
+
+// Balanced reports the member's exact-accounting identity.
+func (m MemberAccounting) Balanced() bool {
+	return m.Emitted == m.Ship.Emitted &&
+		m.Archived == m.Emitted-m.Ship.Dropped-m.Ship.Fallback &&
+		m.Ship.Queued == 0 && m.Ship.SpoolPending == 0
+}
+
+// FederationResult carries the scenario outcome.
+type FederationResult struct {
+	Config FederationConfig
+
+	// Members holds per-member ledgers in (site, switch) order.
+	Members []MemberAccounting
+	// Fleet is the shared archiver's cross-site aggregation.
+	Fleet psarchiver.FleetAggregate
+	// Pipeline is the shared Logstash pipeline's counter snapshot;
+	// TornLines sums undecodable fragments and counted read errors
+	// across member inputs. Informational, not a Pass condition: the
+	// scripted chaos cut can surface on the archiver side as one
+	// counted connection-reset error (exactly as in the outage
+	// scenario), and the exact-balance ledger is what proves no
+	// record was lost or double-counted.
+	Pipeline  psarchiver.PipelineStats
+	TornLines uint64
+	// Coord is the coordinator's event accounting; FleetSeq its final
+	// config generation.
+	Coord    federation.Counters
+	FleetSeq uint64
+	// Victim identifies the killed member; VictimReplayed and
+	// VictimSpilled prove its outage went through the disk tier and
+	// came back.
+	Victim         string
+	VictimSpilled  uint64
+	VictimReplayed uint64
+	// PathsConsistent reports that every multi-tap path joined with
+	// zero byte spread (same-site tap points replay identical streams,
+	// so any spread is an accounting defect).
+	PathsConsistent bool
+	// Replayed totals the workload actually driven.
+	ReplayedRecords uint64
+
+	// Log records the phase transitions.
+	Log []string
+}
+
+// Balanced reports the fleet-wide exact-accounting invariant: every
+// member balances individually and the store total is exactly the sum
+// of member contributions (no unattributed documents).
+func (r *FederationResult) Balanced() bool {
+	var sum uint64
+	for _, m := range r.Members {
+		if !m.Balanced() {
+			return false
+		}
+		sum += m.Archived
+	}
+	return sum == uint64(r.Fleet.Documents) && r.Fleet.Unstamped == 0 &&
+		r.Pipeline.Received == sum
+}
+
+// Pass reports whether every federation guarantee held: exact
+// accounting, full config convergence (every member on the fleet
+// generation), the chaos phase's spool replay, and consistent path
+// joins.
+func (r *FederationResult) Pass() bool {
+	if !r.Balanced() || !r.PathsConsistent {
+		return false
+	}
+	for _, m := range r.Members {
+		if m.ConfigSeq != r.FleetSeq {
+			return false
+		}
+	}
+	return r.VictimSpilled > 0 && r.VictimReplayed > 0 &&
+		r.Coord.DeadTransitions >= 1 && r.Coord.Rejoined >= 1 &&
+		len(r.Fleet.Paths) > 0
+}
+
+// Witness renders the deterministic run fingerprint: only
+// order-independent, seed-determined quantities appear (emission
+// counts, store attributions and sums, fleet counters), never
+// scheduling-dependent ones (retries, reconnects, shipped/replayed
+// splits), so two runs at the same seed produce byte-identical
+// witnesses.
+func (r *FederationResult) Witness() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "federation seed=%d members=%d rounds=%d flows_per_site=%d\n",
+		r.Config.Seed, len(r.Members), r.Config.Rounds, r.Config.FlowsPerSite)
+	for _, m := range r.Members {
+		fmt.Fprintf(&b, "member %s/%s emitted=%d archived=%d dropped=%d fallback=%d config_seq=%d\n",
+			m.Site, m.Switch, m.Emitted, m.Archived, m.Ship.Dropped, m.Ship.Fallback, m.ConfigSeq)
+	}
+	for _, s := range r.Fleet.Sites {
+		fmt.Fprintf(&b, "site %s docs=%d flows=%d bytes=%.0f fairness=%.6f\n",
+			s.Site, s.Documents, s.Flows, s.TotalBytes, s.Fairness)
+	}
+	fmt.Fprintf(&b, "fleet docs=%d unstamped=%d global_fairness=%.6f paths=%d fleet_seq=%d\n",
+		r.Fleet.Documents, r.Fleet.Unstamped, r.Fleet.GlobalFairness, len(r.Fleet.Paths), r.FleetSeq)
+	fmt.Fprintf(&b, "coord registered=%d rejoined=%d heartbeats=%d stale=%d suspect=%d dead=%d recovered=%d fanouts=%d fanout_ok=%d fanout_skipped=%d reconciled=%d\n",
+		r.Coord.Registered, r.Coord.Rejoined, r.Coord.HeartbeatsAccepted, r.Coord.StaleHeartbeats,
+		r.Coord.SuspectTransitions, r.Coord.DeadTransitions, r.Coord.Recovered,
+		r.Coord.FanOuts, r.Coord.FanOutOK, r.Coord.FanOutSkipped, r.Coord.Reconciled)
+	return b.String()
+}
+
+// Render draws the scenario summary.
+func (r *FederationResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Extension: fleet federation — many switches, one observatory (DESIGN.md §5.9)\n")
+	for _, l := range r.Log {
+		fmt.Fprintf(&b, "  %s\n", l)
+	}
+	fmt.Fprintf(&b, "\n%-18s %9s %9s %8s %8s %11s %9s\n",
+		"member", "emitted", "archived", "spilled", "replayed", "config_seq", "balanced")
+	for _, m := range r.Members {
+		fmt.Fprintf(&b, "%-18s %9d %9d %8d %8d %11d %9v\n",
+			m.Site+"/"+m.Switch, m.Emitted, m.Archived, m.Ship.Spilled, m.Ship.Replayed,
+			m.ConfigSeq, m.Balanced())
+	}
+	fmt.Fprintf(&b, "\n%-10s %9s %9s %14s %10s\n", "site", "docs", "flows", "bytes", "fairness")
+	for _, s := range r.Fleet.Sites {
+		fmt.Fprintf(&b, "%-10s %9d %9d %14.0f %10.6f\n", s.Site, s.Documents, s.Flows, s.TotalBytes, s.Fairness)
+	}
+	fmt.Fprintf(&b, "\nreplayed %d records; %d multi-tap paths joined (consistent: %v), global fairness %.6f\n",
+		r.ReplayedRecords, len(r.Fleet.Paths), r.PathsConsistent, r.Fleet.GlobalFairness)
+	fmt.Fprintf(&b, "chaos: victim %s spilled=%d replayed=%d torn_lines=%d; coord: suspect=%d dead=%d rejoined=%d reconciled=%d\n",
+		r.Victim, r.VictimSpilled, r.VictimReplayed, r.TornLines,
+		r.Coord.SuspectTransitions, r.Coord.DeadTransitions, r.Coord.Rejoined, r.Coord.Reconciled)
+	fmt.Fprintf(&b, "accounting balanced: %v\npass: %v\n", r.Balanced(), r.Pass())
+	return b.String()
+}
+
+// SaveCSV writes the per-member fleet ledger and per-site rollups to
+// dir (federation_members.csv, federation_sites.csv), for the results/
+// archive and external plotting.
+func (r *FederationResult) SaveCSV(dir string) (err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, rows []string) error {
+		f, cerr := os.Create(filepath.Join(dir, name))
+		if cerr != nil {
+			return cerr
+		}
+		for _, row := range rows {
+			if _, werr := fmt.Fprintln(f, row); werr != nil {
+				_ = f.Close()
+				return werr
+			}
+		}
+		return f.Close()
+	}
+	members := []string{"site,switch,emitted,archived,dropped,fallback,spilled,replayed,config_seq,balanced"}
+	for _, m := range r.Members {
+		members = append(members, fmt.Sprintf("%s,%s,%d,%d,%d,%d,%d,%d,%d,%v",
+			m.Site, m.Switch, m.Emitted, m.Archived, m.Ship.Dropped, m.Ship.Fallback,
+			m.Ship.Spilled, m.Ship.Replayed, m.ConfigSeq, m.Balanced()))
+	}
+	if err := write("federation_members.csv", members); err != nil {
+		return err
+	}
+	sites := []string{"site,documents,flows,bytes,packets,fairness"}
+	for _, s := range r.Fleet.Sites {
+		sites = append(sites, fmt.Sprintf("%s,%d,%d,%.0f,%.0f,%.6f",
+			s.Site, s.Documents, s.Flows, s.TotalBytes, s.TotalPackets, s.Fairness))
+	}
+	return write("federation_sites.csv", sites)
+}
+
+// limitSource caps a replay source at n records, so one member's synth
+// stream can be drained in per-round chunks.
+type limitSource struct {
+	src  replay.Source
+	left int
+}
+
+func (l *limitSource) Next(r *replay.Record) bool {
+	if l.left <= 0 {
+		return false
+	}
+	l.left--
+	return l.src.Next(r)
+}
+
+// fedMember is one simulated switch: data plane, replay stream, report
+// path, shipper, config channel and coordinator client.
+type fedMember struct {
+	id      federation.Identity
+	sink    controlplane.Sink // identity stamp → counter → shipper
+	counter *controlplane.CountingSink
+	shipper *resilient.Shipper
+	plane   *dataplane.Pipes
+	synth   *replay.Synth
+	perRnd  int
+	flowLo  int // the member's site flow-number base
+
+	archLn *faultnet.Listener
+	input  *psarchiver.TCPInput
+
+	cfgLn   *faultnet.Listener
+	cfgAddr string
+	runtime *federation.MemberRuntime
+	cfgDone chan struct{}
+
+	client *p4runtime.Client
+}
+
+// synthFlowKey reconstructs the forward (data-direction) wire-format
+// flow key of synth flow number g, inverting the Synth addressing.
+func synthFlowKey(g int) dataplane.FlowKey {
+	var k dataplane.FlowKey
+	k[0], k[1], k[2], k[3] = 10, 0, byte(g>>8), byte(g)
+	k[4], k[5], k[6], k[7] = 10, 1, byte(g>>8), byte(g)
+	port := uint16(40000 + g>>16)
+	k[8], k[9] = byte(port>>8), byte(port)
+	k[10], k[11] = byte(5201>>8), byte(5201&0xff)
+	k[12] = 6
+	return k
+}
+
+// memberInfo builds the member's membership announcement with its
+// current config generation.
+func (m *fedMember) memberInfo() p4runtime.MemberInfo {
+	return p4runtime.MemberInfo{
+		Site:       m.id.Site,
+		Switch:     m.id.Switch,
+		ConfigAddr: m.cfgAddr,
+		Generation: m.runtime.Seq(),
+	}
+}
+
+// waitStats polls one member shipper until cond holds — drains and
+// spool replays are asynchronous wall-clock processes, so phases
+// synchronise on observed counters, never on sleeps.
+func (m *fedMember) waitStats(cond func(resilient.Stats) bool) error {
+	deadline := time.Now().Add(30 * time.Second) //p4:lint-exempt determinism: the federation scenario drives real TCP shippers; this is a convergence timeout, not measured output
+	for time.Now().Before(deadline) {            //p4:lint-exempt determinism: same convergence timeout as above
+		if cond(m.shipper.Stats()) {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return fmt.Errorf("experiments: federation member %s did not converge; shipper %s", m.id, m.shipper.Stats())
+}
+
+// RunFederation runs the fleet scenario and returns the exact fleet
+// accounting. It returns an error only when the harness itself fails
+// (missing spool root, a phase that never converges) — measured
+// outcomes, including failed assertions, land in the result.
+func RunFederation(cfg FederationConfig) (*FederationResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.SpoolRoot == "" {
+		return nil, fmt.Errorf("experiments: federation scenario requires SpoolRoot")
+	}
+
+	res := &FederationResult{Config: cfg}
+	logf := func(format string, args ...interface{}) {
+		res.Log = append(res.Log, fmt.Sprintf(format, args...))
+	}
+
+	// Shared observatory: one pipeline, one store, N member inputs.
+	pipeline := psarchiver.NewPipeline()
+	store := psarchiver.NewStore()
+	pipeline.OpenSearchOutput(store)
+
+	// Coordinator, mounted on a real p4runtime server over an
+	// in-memory transport; its clock advances only on Tick, so every
+	// liveness decision is deterministic.
+	cfgListeners := make(map[string]*faultnet.Listener)
+	coord := federation.NewCoordinator(federation.Config{
+		SuspectAfter: 2 * simtime.Second,
+		DeadAfter:    3 * simtime.Second,
+		Apply: func(addr string, cmd psconfig.Command) error {
+			ln := cfgListeners[addr]
+			if ln == nil {
+				return fmt.Errorf("experiments: no config channel at %q", addr)
+			}
+			return cmd.SendWith(addr, psconfig.SendOptions{
+				Attempts: 1,
+				Seed:     cfg.Seed,
+				Dial:     func(string, time.Duration) (net.Conn, error) { return ln.Dial() },
+			})
+		},
+	})
+	coordLn := faultnet.NewListener()
+	coordSrv := p4runtime.NewServer(nil)
+	coordSrv.Members = coord
+	go p4runtime.Serve(coordLn, coordSrv)
+	defer coordLn.Close()
+	if cfg.Obs != nil {
+		coord.RegisterObs(cfg.Obs)
+		pipeline.RegisterObs(cfg.Obs)
+	}
+
+	// Build the fleet.
+	var members []*fedMember
+	for si, site := range cfg.Sites {
+		for sw := 0; sw < site.Switches; sw++ {
+			m := &fedMember{
+				id:     federation.Identity{Site: site.Name, Switch: fmt.Sprintf("sw%d", sw+1)},
+				flowLo: si * cfg.FlowsPerSite,
+			}
+			m.cfgAddr = m.id.String() + ":config"
+			m.plane = dataplane.NewPipes(dataplane.Config{
+				LongFlowBytes:    1 << 62,
+				DupFilterInserts: cfg.FlowsPerSite * cfg.PacketsPerFlow,
+			}, 1)
+			m.synth = &replay.Synth{
+				Flows:    cfg.FlowsPerSite,
+				Packets:  cfg.FlowsPerSite * cfg.PacketsPerFlow,
+				FlowBase: m.flowLo,
+			}
+			m.perRnd = m.synth.Packets / cfg.Rounds
+
+			m.archLn = faultnet.NewListener()
+			m.input = psarchiver.NewInputFromListener(pipeline, m.archLn)
+
+			spoolDir := filepath.Join(cfg.SpoolRoot, site.Name+"_"+m.id.Switch)
+			if err := os.MkdirAll(spoolDir, 0o755); err != nil {
+				return nil, fmt.Errorf("experiments: federation spool dir: %w", err)
+			}
+			shipper, err := resilient.New(resilient.Config{ //p4:lint-exempt determinism: the shipper's internal wall-clock (write deadlines, backoff stamps) never reaches the scenario's counted output
+				Dial:       m.archLn.Dial,
+				MemSpool:   4096,
+				SpoolDir:   spoolDir,
+				BackoffMin: time.Millisecond,
+				BackoffMax: 8 * time.Millisecond,
+				Seed:       cfg.Seed + uint64(len(members)),
+			})
+			if err != nil {
+				return nil, err
+			}
+			m.shipper = shipper
+			m.counter = &controlplane.CountingSink{Next: shipper}
+			m.sink = controlplane.IdentitySink{SiteID: m.id.Site, SwitchID: m.id.Switch, Next: m.counter}
+			if cfg.Obs != nil {
+				m.shipper.RegisterObsAs(cfg.Obs, "p4_shipper_"+m.id.Site+"_"+m.id.Switch)
+			}
+
+			m.runtime = federation.NewMemberRuntime(controlplane.RuntimeConfig{})
+			m.cfgLn = faultnet.NewListener()
+			cfgListeners[m.cfgAddr] = m.cfgLn
+			m.cfgDone = make(chan struct{})
+			go func(m *fedMember) {
+				defer close(m.cfgDone)
+				psconfig.ServeConfig(m.cfgLn, m.runtime)
+			}(m)
+
+			conn, err := coordLn.Dial()
+			if err != nil {
+				return nil, fmt.Errorf("experiments: federation coordinator dial: %w", err)
+			}
+			m.client = p4runtime.NewClient(conn)
+			if _, err := m.client.MemberRegister(m.memberInfo()); err != nil {
+				return nil, fmt.Errorf("experiments: federation register %s: %w", m.id, err)
+			}
+			members = append(members, m)
+		}
+	}
+	logf("fleet up: %d members across %d sites, %d flows/site, %d records/member",
+		len(members), len(cfg.Sites), cfg.FlowsPerSite, cfg.FlowsPerSite*cfg.PacketsPerFlow)
+
+	// The chaos victim: the last switch of the first site — a site
+	// with ≥2 switches keeps producing path joins while one tap point
+	// is out.
+	victim := members[cfg.Sites[0].Switches-1]
+	res.Victim = victim.id.String()
+	partitioned := false
+
+	// extract emits one round's reports from a member: per-round flow
+	// summaries for the sampled flows plus one aggregate.
+	stride := cfg.FlowsPerSite / cfg.SampleFlows
+	if stride == 0 {
+		stride = 1
+	}
+	extract := func(m *fedMember, now simtime.Time) {
+		sampled := make([]float64, 0, cfg.SampleFlows)
+		var total uint64
+		for i := 0; i < cfg.SampleFlows && i*stride < cfg.FlowsPerSite; i++ {
+			g := m.flowLo + i*stride
+			est := m.plane.EstimateFlow(synthFlowKey(g))
+			sampled = append(sampled, float64(est.Bytes))
+			total += est.Bytes
+			m.sink.Emit(controlplane.Report{
+				Kind:    controlplane.KindFlowSummary,
+				TimeNs:  int64(now),
+				FlowID:  fmt.Sprintf("flow-%07d", g),
+				Bytes:   est.Bytes,
+				Packets: est.Pkts,
+				EndNs:   int64(now),
+			})
+		}
+		m.sink.Emit(controlplane.Report{
+			Kind:        controlplane.KindAggregate,
+			TimeNs:      int64(now),
+			ActiveFlows: cfg.FlowsPerSite,
+			TotalBytes:  total,
+			Fairness:    metrics.JainFairness(sampled),
+		})
+	}
+
+	fanout := func(args ...string) (psconfig.Command, error) {
+		return psconfig.ParseConfigP4(args)
+	}
+
+	// Round loop. Every member (including a partitioned one — the
+	// paper's measurement keeps running whether or not its archiver is
+	// reachable) replays its chunk and emits reports; live members
+	// heartbeat; the coordinator ticks its deadlines; then the round's
+	// scripted fleet event fires.
+	for round := 0; round < cfg.Rounds; round++ {
+		now := simtime.Time(round+1) * simtime.Second
+		for _, m := range members {
+			left := m.perRnd
+			if round == cfg.Rounds-1 {
+				left = m.synth.Packets // drain the remainder in the last round
+			}
+			run := replay.Runner{Plane: m.plane}.Run(&limitSource{src: m.synth, left: left}) //p4:lint-exempt determinism: Runner's wall clock only stamps Result.Elapsed; every counted quantity is register state
+			res.ReplayedRecords += run.Packets
+			extract(m, now)
+			if m != victim || !partitioned {
+				if _, err := m.client.MemberHeartbeat(m.memberInfo()); err != nil {
+					return nil, fmt.Errorf("experiments: federation heartbeat %s: %w", m.id, err)
+				}
+			}
+		}
+		coord.Tick(now)
+
+		switch round {
+		case 1:
+			// Fleet-wide reconfiguration #1 over the real config wire.
+			cmd, err := fanout("--samples_per_second", "4")
+			if err != nil {
+				return nil, err
+			}
+			fr := coord.FanOut(cmd, nil)
+			logf("round %d: fan-out #1 seq=%d applied=%d failed=%d", round, fr.Seq, len(fr.Applied), len(fr.Failed))
+		case 2:
+			// Kill: partition the victim — archiver and config channels
+			// refuse and cut, heartbeats stop. Measurement continues.
+			partitioned = true
+			victim.archLn.Refuse(true)
+			victim.archLn.CutAll()
+			victim.cfgLn.Refuse(true)
+			logf("round %d: victim %s partitioned (archiver+config refused, heartbeats stopped)", round, victim.id)
+		case 4:
+			// Fleet-wide reconfiguration #2 while the victim is out: it
+			// must be skipped, everyone else advances, and the fleet
+			// config stays consistent per member.
+			cmd, err := fanout("--metric", "rtt", "--alert", "--threshold", "150", "--samples_per_second", "8")
+			if err != nil {
+				return nil, err
+			}
+			fr := coord.FanOut(cmd, nil)
+			logf("round %d: fan-out #2 seq=%d applied=%d skipped=%d", round, fr.Seq, len(fr.Applied), len(fr.Skipped))
+		case 5:
+			alive, suspect, dead := coord.States()
+			logf("round %d: liveness alive=%d suspect=%d dead=%d", round, alive, suspect, dead)
+		case 6:
+			// Rejoin: channels recover, the member re-registers with its
+			// (now stale) generation, the coordinator reconciles it from
+			// the fleet command log, and its spool replays. Before the
+			// channels heal, wait for the victim's partition-era queue to
+			// finish spilling to disk: the breaker-open spill is an
+			// asynchronous wall-clock process, and rejoining first would
+			// let still-queued records ship directly instead of taking
+			// the spill→replay path the chaos phase exists to exercise.
+			if err := victim.waitStats(func(s resilient.Stats) bool { return s.Spilled > 0 && s.Queued == 0 }); err != nil {
+				return nil, fmt.Errorf("experiments: federation victim never spilled: %w", err)
+			}
+			victim.archLn.Refuse(false)
+			victim.cfgLn.Refuse(false)
+			partitioned = false
+			staleGen := victim.runtime.Seq()
+			ack, err := victim.client.MemberRegister(victim.memberInfo())
+			if err != nil {
+				return nil, fmt.Errorf("experiments: federation rejoin: %w", err)
+			}
+			n, err := coord.Reconcile(victim.id)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: federation reconcile: %w", err)
+			}
+			logf("round %d: victim rejoined (gen %d < fleet %d), %d commands reconciled", round, staleGen, ack.FleetSeq, n)
+		}
+	}
+
+	// Drain: every member's queue and spool must empty (the victim's
+	// drain includes its outage spool replaying), then shut down the
+	// shipping path in order so every delivered line is ingested
+	// before the counters are read.
+	for _, m := range members {
+		if err := m.waitStats(func(s resilient.Stats) bool { return s.Queued == 0 && s.SpoolPending == 0 }); err != nil {
+			return nil, err
+		}
+		if err := m.shipper.Close(); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range members {
+		if err := m.input.Close(); err != nil {
+			return nil, err
+		}
+		_ = m.cfgLn.Close()
+		<-m.cfgDone
+		_ = m.client.Close()
+	}
+
+	// Ledgers and aggregation.
+	res.Fleet = psarchiver.CrossSite(store, "p4-psonar")
+	res.Pipeline = pipeline.Stats()
+	res.FleetSeq = coord.FleetSeq()
+	res.Coord = coord.Counters()
+	for _, m := range members {
+		res.TornLines += m.input.Errors()
+		acct := MemberAccounting{
+			Site:      m.id.Site,
+			Switch:    m.id.Switch,
+			Emitted:   m.counter.Count(),
+			Archived:  uint64(res.Fleet.MemberDocs(m.id.Site, m.id.Switch)),
+			ConfigSeq: m.runtime.Seq(),
+			Ship:      m.shipper.Stats(),
+		}
+		res.Members = append(res.Members, acct)
+		if m == victim {
+			res.VictimSpilled = acct.Ship.Spilled
+			res.VictimReplayed = acct.Ship.Replayed
+		}
+	}
+	res.PathsConsistent = true
+	for _, p := range res.Fleet.Paths {
+		if p.DeltaBytes != 0 {
+			res.PathsConsistent = false
+		}
+	}
+	logf("drained: %d docs archived, %d multi-tap paths, fleet seq %d", res.Fleet.Documents, len(res.Fleet.Paths), res.FleetSeq)
+	return res, nil
+}

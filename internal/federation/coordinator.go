@@ -1,0 +1,368 @@
+package federation
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/p4runtime"
+	"repro/internal/psconfig"
+	"repro/internal/simtime"
+)
+
+// member is one registry entry.
+type member struct {
+	id          Identity
+	state       State
+	incarnation uint64
+	configAddr  string
+	lastBeat    simtime.Time
+	// configSeq is the last fleet command sequence this member is
+	// known to have applied (via fan-out or reconciliation).
+	configSeq uint64
+	// reportedGen is the generation the member itself claimed in its
+	// latest register/heartbeat — the rejoin-staleness signal.
+	reportedGen uint64
+}
+
+// fleetCommand is one fan-out entry in the fleet command log.
+type fleetCommand struct {
+	seq uint64
+	cmd psconfig.Command
+}
+
+// Coordinator is the fleet's membership and configuration authority.
+// It sits off the measurement path: members measure and ship reports
+// autonomously whether or not the coordinator is reachable, and the
+// coordinator's only write path into a member is the psconfig config
+// channel, where each command applies transactionally.
+//
+// All methods are safe for concurrent use. Coordinator implements
+// p4runtime.Membership, so it can be mounted on a p4runtime.Server and
+// spoken to by cmd/p4rt.
+type Coordinator struct {
+	mu       sync.Mutex
+	cfg      Config
+	members  map[Identity]*member
+	fleetSeq uint64
+	log      []fleetCommand
+	clock    simtime.Time // logical clock, advanced by Tick
+	nextInc  uint64
+	counters Counters
+}
+
+// NewCoordinator builds an empty registry with cfg (zero value OK).
+func NewCoordinator(cfg Config) *Coordinator {
+	return &Coordinator{
+		cfg:     cfg.withDefaults(),
+		members: make(map[Identity]*member),
+	}
+}
+
+// now returns the coordinator's idea of the current time under c.mu.
+func (c *Coordinator) now() simtime.Time {
+	if c.cfg.Now != nil {
+		return c.cfg.Now()
+	}
+	return c.clock
+}
+
+// RegisterAt admits (or re-admits) a member at an explicit time. A new
+// identity registers; a Suspect/Dead identity rejoins; an Alive
+// identity re-registering is counted as a duplicate and the new
+// incarnation wins. The member's reported config generation seeds its
+// per-member generation tracking, so a rejoin with stale config is
+// visible immediately.
+func (c *Coordinator) RegisterAt(info p4runtime.MemberInfo, now simtime.Time) (p4runtime.MemberAck, error) {
+	if info.Site == "" || info.Switch == "" {
+		return p4runtime.MemberAck{}, fmt.Errorf("federation: register: empty site or switch")
+	}
+	id := Identity{Site: info.Site, Switch: info.Switch}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.members[id]
+	if !ok {
+		m = &member{id: id}
+		c.members[id] = m
+		c.counters.Registered++
+	} else if m.state == StateAlive {
+		c.counters.DuplicateRegistrations++
+	} else {
+		c.counters.Rejoined++
+		c.counters.Recovered++
+	}
+	c.nextInc++
+	m.incarnation = c.nextInc
+	m.state = StateAlive
+	m.lastBeat = now
+	m.configAddr = info.ConfigAddr
+	m.configSeq = info.Generation
+	m.reportedGen = info.Generation
+	if info.Generation < c.fleetSeq {
+		c.counters.StaleHeartbeats++
+	}
+	return p4runtime.MemberAck{Incarnation: m.incarnation, FleetSeq: c.fleetSeq}, nil
+}
+
+// HeartbeatAt refreshes a member's liveness deadline at an explicit
+// time. Unknown members are rejected (they must register first); a
+// Suspect or Dead member recovers to Alive. The ack carries the fleet
+// config generation so the member can see it lags.
+func (c *Coordinator) HeartbeatAt(info p4runtime.MemberInfo, now simtime.Time) (p4runtime.MemberAck, error) {
+	id := Identity{Site: info.Site, Switch: info.Switch}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.members[id]
+	if !ok {
+		c.counters.UnknownHeartbeats++
+		return p4runtime.MemberAck{}, fmt.Errorf("federation: heartbeat from unregistered member %s", id)
+	}
+	c.counters.HeartbeatsAccepted++
+	if m.state != StateAlive {
+		c.counters.Recovered++
+		m.state = StateAlive
+	}
+	if now > m.lastBeat {
+		m.lastBeat = now
+	}
+	m.reportedGen = info.Generation
+	if info.ConfigAddr != "" {
+		m.configAddr = info.ConfigAddr
+	}
+	if info.Generation < c.fleetSeq {
+		c.counters.StaleHeartbeats++
+	}
+	return p4runtime.MemberAck{Incarnation: m.incarnation, FleetSeq: c.fleetSeq}, nil
+}
+
+// MemberRegister implements p4runtime.Membership using the injected
+// clock (Config.Now, defaulting to the Tick-advanced logical clock).
+func (c *Coordinator) MemberRegister(info p4runtime.MemberInfo) (p4runtime.MemberAck, error) {
+	c.mu.Lock()
+	now := c.now()
+	c.mu.Unlock()
+	return c.RegisterAt(info, now)
+}
+
+// MemberHeartbeat implements p4runtime.Membership.
+func (c *Coordinator) MemberHeartbeat(info p4runtime.MemberInfo) (p4runtime.MemberAck, error) {
+	c.mu.Lock()
+	now := c.now()
+	c.mu.Unlock()
+	return c.HeartbeatAt(info, now)
+}
+
+// MemberList implements p4runtime.Membership: a registry snapshot in
+// deterministic (site, switch) order.
+func (c *Coordinator) MemberList() []p4runtime.MemberStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]p4runtime.MemberStatus, 0, len(c.members))
+	for _, m := range c.sortedLocked() {
+		out = append(out, p4runtime.MemberStatus{
+			Site:        m.id.Site,
+			Switch:      m.id.Switch,
+			State:       m.state.String(),
+			Incarnation: m.incarnation,
+			ConfigSeq:   m.configSeq,
+		})
+	}
+	return out
+}
+
+// sortedLocked returns members in (site, switch) order; c.mu held.
+func (c *Coordinator) sortedLocked() []*member {
+	ms := make([]*member, 0, len(c.members))
+	for _, m := range c.members {
+		ms = append(ms, m)
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].id.Less(ms[j].id) })
+	return ms
+}
+
+// Tick advances the logical clock and applies the liveness deadlines:
+// Alive members silent past SuspectAfter turn Suspect, members silent
+// past DeadAfter turn Dead. It returns the number of members that
+// changed state.
+func (c *Coordinator) Tick(now simtime.Time) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if now > c.clock {
+		c.clock = now
+	}
+	changed := 0
+	for _, m := range c.members {
+		silence := now - m.lastBeat
+		switch {
+		case m.state != StateDead && silence >= c.cfg.DeadAfter:
+			if m.state == StateAlive {
+				c.counters.SuspectTransitions++
+			}
+			m.state = StateDead
+			c.counters.DeadTransitions++
+			changed++
+		case m.state == StateAlive && silence >= c.cfg.SuspectAfter:
+			m.state = StateSuspect
+			c.counters.SuspectTransitions++
+			changed++
+		}
+	}
+	return changed
+}
+
+// FleetSeq returns the fleet-wide config generation: the sequence
+// number of the latest fan-out.
+func (c *Coordinator) FleetSeq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fleetSeq
+}
+
+// FanOutResult reports one fan-out's per-member outcomes.
+type FanOutResult struct {
+	// Seq is the fleet generation this fan-out established.
+	Seq uint64
+	// Applied lists members that acknowledged the command (their
+	// configSeq advanced to Seq); Failed lists members whose
+	// application errored (config left on their previous generation —
+	// member-side application is transactional); Skipped lists
+	// non-Alive members, which will catch up on reconciliation.
+	Applied []Identity
+	Failed  []Identity
+	Skipped []Identity
+}
+
+// FanOut pushes cmd to every Alive member (selector nil) or to the
+// Alive members selector approves, advancing the fleet generation and
+// appending to the fleet command log. Members visit in deterministic
+// (site, switch) order. A per-member failure does not abort the
+// fan-out and cannot leave that member half-configured: the command
+// either applied transactionally or the member keeps its previous
+// generation, and the result says which.
+func (c *Coordinator) FanOut(cmd psconfig.Command, selector func(Identity) bool) FanOutResult {
+	c.mu.Lock()
+	c.fleetSeq++
+	seq := c.fleetSeq
+	c.log = append(c.log, fleetCommand{seq: seq, cmd: cmd})
+	c.counters.FanOuts++
+	type target struct {
+		id   Identity
+		addr string
+	}
+	var targets []target
+	var res FanOutResult
+	res.Seq = seq
+	for _, m := range c.sortedLocked() {
+		if m.state != StateAlive || (selector != nil && !selector(m.id)) {
+			res.Skipped = append(res.Skipped, m.id)
+			c.counters.FanOutSkipped++
+			continue
+		}
+		targets = append(targets, target{id: m.id, addr: m.configAddr})
+	}
+	apply := c.cfg.Apply
+	c.mu.Unlock()
+
+	for _, t := range targets {
+		var err error
+		if apply != nil {
+			err = apply(t.addr, cmd)
+		}
+		c.mu.Lock()
+		m := c.members[t.id]
+		if err != nil {
+			res.Failed = append(res.Failed, t.id)
+			c.counters.FanOutFailed++
+		} else {
+			if m != nil && seq > m.configSeq {
+				m.configSeq = seq
+			}
+			res.Applied = append(res.Applied, t.id)
+			c.counters.FanOutOK++
+		}
+		c.mu.Unlock()
+	}
+	return res
+}
+
+// Reconcile replays the fleet commands a member missed — everything in
+// the log after its per-member generation — in order, stopping at the
+// first failure so the member's generation never skips a command. It
+// returns the number of commands replayed.
+func (c *Coordinator) Reconcile(id Identity) (int, error) {
+	c.mu.Lock()
+	m, ok := c.members[id]
+	if !ok {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("federation: reconcile: unknown member %s", id)
+	}
+	from := m.configSeq
+	addr := m.configAddr
+	var pending []fleetCommand
+	for _, fc := range c.log {
+		if fc.seq > from {
+			pending = append(pending, fc)
+		}
+	}
+	apply := c.cfg.Apply
+	c.mu.Unlock()
+
+	replayed := 0
+	for _, fc := range pending {
+		if apply != nil {
+			if err := apply(addr, fc.cmd); err != nil {
+				c.mu.Lock()
+				c.counters.ReconcileFailures++
+				c.mu.Unlock()
+				return replayed, fmt.Errorf("federation: reconcile %s at seq %d: %w", id, fc.seq, err)
+			}
+		}
+		replayed++
+		c.mu.Lock()
+		if m := c.members[id]; m != nil && fc.seq > m.configSeq {
+			m.configSeq = fc.seq
+		}
+		c.counters.Reconciled++
+		c.mu.Unlock()
+	}
+	return replayed, nil
+}
+
+// Lagging returns the members whose per-member generation trails the
+// fleet generation, in deterministic order — the reconciliation
+// work-list after a partial fan-out or a rejoin.
+func (c *Coordinator) Lagging() []Identity {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Identity
+	for _, m := range c.sortedLocked() {
+		if m.configSeq < c.fleetSeq {
+			out = append(out, m.id)
+		}
+	}
+	return out
+}
+
+// States returns the number of members in each liveness state.
+func (c *Coordinator) States() (alive, suspect, dead int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, m := range c.members {
+		switch m.state {
+		case StateAlive:
+			alive++
+		case StateSuspect:
+			suspect++
+		case StateDead:
+			dead++
+		}
+	}
+	return
+}
+
+// Counters snapshots the coordinator's event accounting.
+func (c *Coordinator) Counters() Counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters
+}

@@ -1,0 +1,153 @@
+// Package federation is the fleet layer (DESIGN.md §5.9): many
+// switches, one observatory. Real Science DMZ deployments run a tap
+// point per site border, not one; the coordinator in this package
+// turns N autonomous collector loops into a single observable fleet
+// without putting itself on any measurement path.
+//
+// The coordinator keeps a member registry with deadline-based liveness
+// (heartbeat → Alive, missed deadlines → Suspect → Dead, counted
+// transitions), fans configuration out to members through the existing
+// psconfig wire channel with per-member generation tracking (a member
+// that fails mid-fan-out keeps its previous config intact — each
+// member's application is genconfig-transactional — and the registry
+// records exactly which generation each member runs), and reconciles
+// rejoining members by replaying the fleet command log they missed.
+// Membership RPCs ride the internal/p4runtime JSON-lines transport
+// (OpMemberRegister/OpMemberHeartbeat/OpMemberList), so cmd/p4rt can
+// inspect a live fleet.
+//
+// Time is explicit throughout: every liveness decision takes a
+// simtime.Time argument or derives one from the injected Now hook, so
+// fleet behaviour is deterministic under test and in the witness-bearing
+// federation experiment (experiments.RunFederation).
+package federation
+
+import (
+	"fmt"
+
+	"repro/internal/psconfig"
+	"repro/internal/simtime"
+)
+
+// Identity names a fleet member: which site it serves and which switch
+// within the site it is.
+type Identity struct {
+	Site   string
+	Switch string
+}
+
+// String renders the identity as "site/switch".
+func (id Identity) String() string { return id.Site + "/" + id.Switch }
+
+// Less orders identities by site, then switch — the deterministic
+// fleet order used for listings and fan-out.
+func (id Identity) Less(o Identity) bool {
+	if id.Site != o.Site {
+		return id.Site < o.Site
+	}
+	return id.Switch < o.Switch
+}
+
+// State is a member's liveness state.
+type State int
+
+// The liveness states. A member is Alive while heartbeats arrive
+// before SuspectAfter, Suspect once they stop, Dead after DeadAfter of
+// silence. Any heartbeat or re-registration returns it to Alive.
+const (
+	StateAlive State = iota
+	StateSuspect
+	StateDead
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Applier pushes one config-P4 command at a member's config channel.
+// The production applier dials the member's psconfig wire address;
+// tests substitute direct in-process application.
+type Applier func(configAddr string, cmd psconfig.Command) error
+
+// Config tunes a Coordinator. The zero value is usable: every field
+// has a default.
+type Config struct {
+	// SuspectAfter is the silence (no heartbeat) after which an Alive
+	// member turns Suspect (default 2 simulated seconds).
+	SuspectAfter simtime.Time
+	// DeadAfter is the silence after which a member turns Dead
+	// (default 5 simulated seconds). Must exceed SuspectAfter.
+	DeadAfter simtime.Time
+	// Apply pushes one command to one member during fan-out and
+	// reconciliation. Nil means fan-out only records the command in
+	// the fleet log (members pull it on reconcile via a later Apply).
+	Apply Applier
+	// Now supplies the coordinator's clock for membership RPCs that
+	// arrive without an explicit timestamp (the p4runtime transport
+	// path). Nil defaults to the coordinator's logical clock, which
+	// advances only via Tick — fully deterministic.
+	Now func() simtime.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 2 * simtime.Second
+	}
+	if c.DeadAfter <= c.SuspectAfter {
+		c.DeadAfter = 5 * simtime.Second
+		if c.DeadAfter <= c.SuspectAfter {
+			c.DeadAfter = 2 * c.SuspectAfter
+		}
+	}
+	return c
+}
+
+// Counters is a snapshot of the coordinator's event accounting — the
+// counted state transitions DESIGN.md §5.9 requires, exposed through
+// internal/obs by RegisterObs.
+type Counters struct {
+	// Registered counts first-time member registrations.
+	Registered uint64
+	// Rejoined counts re-registrations by Suspect or Dead members.
+	Rejoined uint64
+	// DuplicateRegistrations counts re-registrations by members that
+	// were still Alive (a restarted collector racing its old self; the
+	// new incarnation wins).
+	DuplicateRegistrations uint64
+	// HeartbeatsAccepted counts heartbeats from known members.
+	HeartbeatsAccepted uint64
+	// UnknownHeartbeats counts heartbeats rejected because the member
+	// never registered (or registered under a different identity).
+	UnknownHeartbeats uint64
+	// StaleHeartbeats counts heartbeats whose reported config
+	// generation lags the fleet generation — the rejoin-with-stale-
+	// config signal that triggers reconciliation.
+	StaleHeartbeats uint64
+	// SuspectTransitions and DeadTransitions count liveness
+	// degradations; Recovered counts returns to Alive from either.
+	SuspectTransitions uint64
+	DeadTransitions    uint64
+	Recovered          uint64
+	// FanOuts counts FanOut calls; the per-member outcomes split into
+	// applied (FanOutOK), failed (FanOutFailed, member config left on
+	// its previous generation) and skipped non-Alive members
+	// (FanOutSkipped).
+	FanOuts       uint64
+	FanOutOK      uint64
+	FanOutFailed  uint64
+	FanOutSkipped uint64
+	// Reconciled counts commands replayed to lagging members;
+	// ReconcileFailures counts replay attempts that failed (the member
+	// stays lagging and keeps its generation).
+	Reconciled        uint64
+	ReconcileFailures uint64
+}

@@ -1,0 +1,50 @@
+package federation
+
+import "repro/internal/obs"
+
+// RegisterObs wires the coordinator's self-telemetry into r. One
+// Collect callback renders the whole group from a single
+// mutex-consistent snapshot, so every scrape sees coherent membership
+// counts (alive + suspect + dead == members) and event counters.
+func (c *Coordinator) RegisterObs(r *obs.Registry) {
+	r.Collect(func(w obs.MetricWriter) {
+		c.mu.Lock()
+		total := uint64(len(c.members))
+		seq := c.fleetSeq
+		logLen := uint64(len(c.log))
+		ct := c.counters
+		var alive, suspect, dead uint64
+		for _, m := range c.members {
+			switch m.state {
+			case StateAlive:
+				alive++
+			case StateSuspect:
+				suspect++
+			case StateDead:
+				dead++
+			}
+		}
+		c.mu.Unlock()
+		w.Gauge("p4_fed_members", "Registered fleet members.", total)
+		w.Gauge("p4_fed_members_alive", "Members in the Alive liveness state.", alive)
+		w.Gauge("p4_fed_members_suspect", "Members in the Suspect liveness state.", suspect)
+		w.Gauge("p4_fed_members_dead", "Members in the Dead liveness state.", dead)
+		w.Gauge("p4_fed_fleet_seq", "Fleet-wide config generation (latest fan-out sequence).", seq)
+		w.Gauge("p4_fed_command_log", "Commands retained in the fleet command log.", logLen)
+		w.Gauge("p4_fed_registered", "First-time member registrations.", ct.Registered)
+		w.Gauge("p4_fed_rejoined", "Re-registrations by Suspect or Dead members.", ct.Rejoined)
+		w.Gauge("p4_fed_duplicate_registrations", "Re-registrations by members still Alive.", ct.DuplicateRegistrations)
+		w.Gauge("p4_fed_heartbeats", "Heartbeats accepted from known members.", ct.HeartbeatsAccepted)
+		w.Gauge("p4_fed_unknown_heartbeats", "Heartbeats rejected from unregistered members.", ct.UnknownHeartbeats)
+		w.Gauge("p4_fed_stale_heartbeats", "Heartbeats reporting a config generation behind the fleet.", ct.StaleHeartbeats)
+		w.Gauge("p4_fed_suspect_transitions", "Alive-to-Suspect liveness degradations.", ct.SuspectTransitions)
+		w.Gauge("p4_fed_dead_transitions", "Transitions into the Dead state.", ct.DeadTransitions)
+		w.Gauge("p4_fed_recovered", "Returns to Alive from Suspect or Dead.", ct.Recovered)
+		w.Gauge("p4_fed_fanouts", "Fleet-wide configuration fan-outs.", ct.FanOuts)
+		w.Gauge("p4_fed_fanout_ok", "Per-member fan-out applications that succeeded.", ct.FanOutOK)
+		w.Gauge("p4_fed_fanout_failed", "Per-member fan-out applications that failed.", ct.FanOutFailed)
+		w.Gauge("p4_fed_fanout_skipped", "Members skipped by fan-out (not Alive or deselected).", ct.FanOutSkipped)
+		w.Gauge("p4_fed_reconciled", "Commands replayed to lagging members.", ct.Reconciled)
+		w.Gauge("p4_fed_reconcile_failures", "Reconciliation replays that failed.", ct.ReconcileFailures)
+	})
+}

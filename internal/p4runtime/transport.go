@@ -56,6 +56,17 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	}, nil
 }
 
+// NewClient wraps an already-established connection (a faultnet pipe
+// in tests, a pre-dialled socket in the federation harness) in a
+// runtime client. The client owns the connection and closes it.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		enc:  json.NewEncoder(conn),
+	}
+}
+
 // Close releases the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
@@ -96,4 +107,35 @@ func (c *Client) TableSkip(prefix string) error {
 func (c *Client) ListRegisters() ([]string, error) {
 	resp, err := c.Do(Request{Op: OpListRegisters})
 	return resp.Registers, err
+}
+
+// MemberRegister registers (or re-registers) a fleet member with the
+// coordinator behind this server.
+func (c *Client) MemberRegister(info MemberInfo) (MemberAck, error) {
+	resp, err := c.Do(Request{Op: OpMemberRegister, Member: &info})
+	if err != nil {
+		return MemberAck{}, err
+	}
+	if resp.Ack == nil {
+		return MemberAck{}, fmt.Errorf("p4runtime: register: empty ack")
+	}
+	return *resp.Ack, nil
+}
+
+// MemberHeartbeat refreshes a member's liveness deadline.
+func (c *Client) MemberHeartbeat(info MemberInfo) (MemberAck, error) {
+	resp, err := c.Do(Request{Op: OpMemberHeartbeat, Member: &info})
+	if err != nil {
+		return MemberAck{}, err
+	}
+	if resp.Ack == nil {
+		return MemberAck{}, fmt.Errorf("p4runtime: heartbeat: empty ack")
+	}
+	return *resp.Ack, nil
+}
+
+// MemberList snapshots the coordinator's member registry.
+func (c *Client) MemberList() ([]MemberStatus, error) {
+	resp, err := c.Do(Request{Op: OpMemberList})
+	return resp.Members, err
 }

@@ -1,6 +1,10 @@
 package resilient
 
-import "repro/internal/obs"
+import (
+	"strings"
+
+	"repro/internal/obs"
+)
 
 // RegisterObs wires the shipper's self-telemetry into r.
 //
@@ -16,21 +20,32 @@ import "repro/internal/obs"
 // ladder-transition events: ship, retry, replay, spill, fallback,
 // drop, dial, connect, breaker_open, breaker_close, spool_abandon.
 func (s *Shipper) RegisterObs(r *obs.Registry) {
-	s.trace.Store(r.NewTrace("shipper", 1024))
+	s.RegisterObsAs(r, "p4_shipper")
+}
+
+// RegisterObsAs is RegisterObs under an explicit metric-name prefix
+// (and trace-ring name), for fleet deployments where several member
+// shippers share one registry: scrape output must keep names unique,
+// so each member registers as e.g. "p4_shipper_siteA_sw1". The prefix
+// replaces the default "p4_shipper".
+func (s *Shipper) RegisterObsAs(r *obs.Registry, prefix string) {
+	// The trace ring keeps its historical name ("shipper" under the
+	// default prefix): rings are namespaced by /trace, not /metrics.
+	s.trace.Store(r.NewTrace(strings.TrimPrefix(prefix, "p4_"), 1024))
 	r.Collect(func(w obs.MetricWriter) {
 		st := s.Stats()
-		w.Gauge("p4_shipper_emitted", "Reports accepted by Emit.", st.Emitted)
-		w.Gauge("p4_shipper_shipped", "Records fully delivered to a live archiver connection.", st.Shipped)
-		w.Gauge("p4_shipper_replayed", "Records delivered off the disk spool after an outage.", st.Replayed)
-		w.Gauge("p4_shipper_retried", "Write attempts that failed and left the record queued.", st.Retried)
-		w.Gauge("p4_shipper_dropped", "Records lost with certainty (overflow, encode, fallback errors).", st.Dropped)
-		w.Gauge("p4_shipper_spilled", "Records appended to the disk spool.", st.Spilled)
-		w.Gauge("p4_shipper_fallback", "Records degraded to the fallback writer.", st.Fallback)
-		w.Gauge("p4_shipper_dial_attempts", "Archiver dial attempts.", st.DialAttempts)
-		w.Gauge("p4_shipper_reconnects", "Successful dials that followed at least one failure.", st.Reconnects)
-		w.Gauge("p4_shipper_breaker_opens", "Circuit-breaker open transitions.", st.BreakerOpens)
-		w.Gauge("p4_shipper_queued", "Current in-memory queue depth.", st.Queued)
-		w.Gauge("p4_shipper_spool_pending", "Records waiting on disk for replay.", st.SpoolPending)
+		w.Gauge(prefix+"_emitted", "Reports accepted by Emit.", st.Emitted)
+		w.Gauge(prefix+"_shipped", "Records fully delivered to a live archiver connection.", st.Shipped)
+		w.Gauge(prefix+"_replayed", "Records delivered off the disk spool after an outage.", st.Replayed)
+		w.Gauge(prefix+"_retried", "Write attempts that failed and left the record queued.", st.Retried)
+		w.Gauge(prefix+"_dropped", "Records lost with certainty (overflow, encode, fallback errors).", st.Dropped)
+		w.Gauge(prefix+"_spilled", "Records appended to the disk spool.", st.Spilled)
+		w.Gauge(prefix+"_fallback", "Records degraded to the fallback writer.", st.Fallback)
+		w.Gauge(prefix+"_dial_attempts", "Archiver dial attempts.", st.DialAttempts)
+		w.Gauge(prefix+"_reconnects", "Successful dials that followed at least one failure.", st.Reconnects)
+		w.Gauge(prefix+"_breaker_opens", "Circuit-breaker open transitions.", st.BreakerOpens)
+		w.Gauge(prefix+"_queued", "Current in-memory queue depth.", st.Queued)
+		w.Gauge(prefix+"_spool_pending", "Records waiting on disk for replay.", st.SpoolPending)
 	})
 }
 
